@@ -1,0 +1,23 @@
+"""E1 — Figure 1 and the Sec 3.2 worked example.
+
+Paper claims: on Sym(star) the covering bounds never beat γ_eq = n = 4;
+on Sym(fig1-right) cov_2 = 3 and γ_eq = 4 make the covering bound (3-set)
+strictly better — and E10/5.4 make it tight.
+"""
+
+from conftest import run_table
+
+from repro.analysis.tables import e01_figure1_table
+
+
+def test_bench_e01_figure1(benchmark):
+    headers, rows = run_table(benchmark, e01_figure1_table)
+    star_row = next(r for r in rows if r[0] == "Sym(star)")
+    wheel_row = next(r for r in rows if r[0] == "Sym(fig1-right)")
+    # Paper numbers.
+    assert star_row[2] == 4  # γ_eq(star) = n
+    assert wheel_row[2] == 4  # γ_eq = 4
+    assert wheel_row[3].split("/")[1] == "3"  # cov_2 = 3
+    assert wheel_row[6] == 3  # best upper: 3-set via Thm 3.7
+    assert star_row[6] == 4  # star model stuck at 4-set
+    assert wheel_row[8] is True  # tight

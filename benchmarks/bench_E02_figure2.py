@@ -1,0 +1,10 @@
+"""E2 — Figure 2: the uninterpreted simplex of a concrete graph."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e02_figure2_report
+
+
+def test_bench_e02_figure2(benchmark):
+    headers, rows = run_table(benchmark, e02_figure2_report)
+    assert all(row[-1] for row in rows), "a view deviates from Fig 2b"

@@ -1,0 +1,15 @@
+"""E3 — Figure 3 / Lemma 4.7: pseudosphere connectivity measured by homology."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e03_pseudosphere_table
+
+
+def test_bench_e03_pseudospheres(benchmark):
+    headers, rows = run_table(benchmark, e03_pseudosphere_table)
+    assert rows, "no pseudosphere case ran"
+    assert all(row[-1] for row in rows), "Lemma 4.7 violated somewhere"
+    # The join structure: the top Betti number is (v-1)^n exactly.
+    for n, v, _facets, betti, measured, predicted, _ok in rows:
+        assert betti[-1] == (v - 1) ** n
+        assert measured == n - 2 == predicted

@@ -1,0 +1,13 @@
+"""E4 — Figure 4: the shellability checker on the paper's two complexes."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e04_shellability_table
+
+
+def test_bench_e04_shellability(benchmark):
+    headers, rows = run_table(benchmark, e04_shellability_table)
+    assert all(row[-1] for row in rows), "shellability verdict mismatch"
+    by_name = {row[0]: row[3] for row in rows}
+    assert by_name["Fig 4a (triangles sharing edge)"] is True
+    assert by_name["Fig 4b (triangles sharing vertex)"] is False

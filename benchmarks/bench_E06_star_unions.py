@@ -1,0 +1,14 @@
+"""E6 — Thm 5.4 / 6.13: the tight union-of-s-stars family."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e06_star_union_table
+
+
+def test_bench_e06_star_unions(benchmark):
+    headers, rows = run_table(benchmark, e06_star_union_table)
+    for n, s, gd, paper_gd, lower, paper_lower, upper, paper_upper, tight in rows:
+        assert gd == paper_gd == n - s + 1
+        assert lower == paper_lower == n - s
+        assert upper == paper_upper == n - s + 1
+        assert tight is True

@@ -1,0 +1,12 @@
+"""E7 — Sec 6.1: closure-above is not invariant under the path product."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e07_product_closure_report
+
+
+def test_bench_e07_product_closure(benchmark):
+    headers, rows = run_table(benchmark, e07_product_closure_report)
+    values = {row[0]: row[1] for row in rows}
+    assert values["gap witness found"] is True
+    assert values["edges of C_n^2 (proper)"] == 12

@@ -1,0 +1,10 @@
+"""E8 — Thm 4.12 / Cor 4.9: (n-2)-connectivity of uninterpreted complexes."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e08_model_connectivity_table
+
+
+def test_bench_e08_model_connectivity(benchmark):
+    headers, rows = run_table(benchmark, e08_model_connectivity_table)
+    assert all(row[-1] for row in rows), "a model missed (n-2)-connectivity"

@@ -1,0 +1,15 @@
+"""E9 — Defs 6.6/6.8, Thms 6.7/6.9: covering sequences drive FloodMin."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e09_covering_sequence_table
+
+
+def test_bench_e09_covering_sequences(benchmark):
+    headers, rows = run_table(benchmark, e09_covering_sequence_table)
+    for name, i, seq, rounds, verified in rows:
+        if rounds is not None:
+            assert verified is True, f"FloodMin missed the bound on {name}"
+            assert seq[-1] == max(seq)
+        else:
+            assert verified == "n/a (stalls)"

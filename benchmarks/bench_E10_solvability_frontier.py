@@ -1,0 +1,18 @@
+"""E10 — the exhaustive one-round solvability frontier on n = 3.
+
+For every isomorphism class of symmetric single-generator closed-above
+models on 3 processes, the exact solvable k (CSP search over the *full*
+allowed graph set) must lie inside the paper's (lower, upper] interval.
+"""
+
+from conftest import run_table
+
+from repro.analysis.tables import e10_solvability_frontier_table
+
+
+def test_bench_e10_solvability_frontier(benchmark):
+    headers, rows = run_table(benchmark, e10_solvability_frontier_table, 3)
+    assert len(rows) == 16  # isomorphism classes of digraphs on 3 nodes
+    assert all(row[3] for row in rows), "an exact value escaped the bounds"
+    tight = sum(1 for row in rows if row[4])
+    print(f"\nexact frontier tight in {tight}/{len(rows)} model classes")

@@ -1,0 +1,18 @@
+"""E11 — Thms 6.3/6.7: multi-round upper bounds, γ(G^r) decay."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e11_multiround_upper_table
+
+
+def test_bench_e11_multiround_upper(benchmark):
+    headers, rows = run_table(benchmark, e11_multiround_upper_table)
+    # γ(G^r) is non-increasing in r for every family.
+    by_graph: dict[str, list[int]] = {}
+    for name, r, gamma, _seq in rows:
+        by_graph.setdefault(name, []).append(gamma)
+    for name, gammas in by_graph.items():
+        assert all(a >= b for a, b in zip(gammas, gammas[1:])), name
+    # Spot values from the table.
+    assert by_graph["cycle(6)"] == [3, 2, 2]
+    assert by_graph["cycle(7)"] == [4, 3, 2]

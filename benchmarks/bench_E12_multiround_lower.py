@@ -1,0 +1,15 @@
+"""E12 — Thms 6.10/6.11: multi-round oblivious lower bounds vs uppers."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e12_multiround_lower_table
+
+
+def test_bench_e12_multiround_lower(benchmark):
+    headers, rows = run_table(benchmark, e12_multiround_lower_table)
+    for model, r, impossible, solvable, gap in rows:
+        assert impossible < solvable, (model, r)
+        assert gap == solvable - impossible - 1
+        if model.startswith("Sym(stars"):
+            # Thm 6.13: the bracket is round-independent and tight.
+            assert gap == 0

@@ -1,0 +1,10 @@
+"""E13 — Lemma 4.8: ↑G's uninterpreted complex equals the pseudosphere."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e13_lemma48_table
+
+
+def test_bench_e13_lemma48(benchmark):
+    headers, rows = run_table(benchmark, e13_lemma48_table)
+    assert all(row[-1] for row in rows), "Lemma 4.8 failed on some graph"

@@ -1,0 +1,15 @@
+"""E14 — Sec 2.1's classical models under the paper's bounds."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e14_heard_of_table
+
+
+def test_bench_e14_heard_of(benchmark):
+    headers, rows = run_table(benchmark, e14_heard_of_table)
+    by_name = {row[0]: row for row in rows}
+    kernel = by_name["non-empty kernel"]
+    # The kernel model is Sym(star): tight at γ_eq = n (Thm 6.13, s=1).
+    assert kernel[3] == 4 and kernel[6] is True
+    tournament = by_name["tournament (closed-above)"]
+    assert tournament[2] == 64  # all tournaments on 4 processes

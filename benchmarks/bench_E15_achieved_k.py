@@ -1,0 +1,12 @@
+"""E15 — exact achieved k of each witness algorithm vs its guarantee."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e15_achieved_k_table
+
+
+def test_bench_e15_achieved_k(benchmark):
+    headers, rows = run_table(benchmark, e15_achieved_k_table)
+    for name, guarantee, achieved, exact in rows:
+        assert achieved <= guarantee, f"{name} exceeded its guarantee"
+        assert exact is True, f"{name}: analysis not exact for its witness"

@@ -1,0 +1,16 @@
+"""E16 — colored vs oblivious one-round power (the Sec 5 remark)."""
+
+from conftest import run_table
+
+from repro.analysis.tables import e16_colored_vs_oblivious_table
+
+
+def test_bench_e16_colored(benchmark):
+    headers, rows = run_table(benchmark, e16_colored_vs_oblivious_table)
+    assert all(row[-1] for row in rows), (
+        "colored and oblivious verdicts diverged on a full model — "
+        "the Sec 5 remark would be violated"
+    )
+    # On the star generators identity genuinely helps (subset only).
+    star_row = next(r for r in rows if r[0] == "Sym(↑star(3))" and r[1] == 1)
+    assert star_row[2] == "False/True"

@@ -1,0 +1,95 @@
+"""Performance micro-benchmarks for the expensive kernels.
+
+These time the primitives that every experiment leans on: dominating-set
+search (exact vs greedy — the DESIGN.md ablation), combinatorial numbers,
+homology ranks, pseudosphere materialisation, graph powers, and the CSP
+solvability search.
+"""
+
+import random
+
+from repro.combinatorics import (
+    covering_numbers,
+    distributed_domination_number,
+    equal_domination_number,
+)
+from repro.graphs import (
+    cycle,
+    domination_number,
+    graph_power,
+    greedy_dominating_set,
+    random_digraph,
+    symmetric_closure,
+    union_of_stars,
+    wheel,
+)
+from repro.topology import (
+    Pseudosphere,
+    reduced_betti_numbers,
+    uninterpreted_complex_of_closed_above,
+)
+from repro.verification import decide_one_round_solvability
+
+
+def test_bench_exact_domination_random16(benchmark):
+    g = random_digraph(16, random.Random(5), 0.2)
+    gamma = benchmark(domination_number, g)
+    assert 1 <= gamma <= 16
+
+
+def test_bench_greedy_domination_random16(benchmark):
+    """Ablation partner of the exact solver (same instance)."""
+    g = random_digraph(16, random.Random(5), 0.2)
+    members = benchmark(greedy_dominating_set, g)
+    assert g.dominates(members)
+
+
+def test_bench_equal_domination_cycle10(benchmark):
+    value = benchmark(equal_domination_number, cycle(10))
+    assert value == 9
+
+
+def test_bench_covering_profile_cycle12(benchmark):
+    profile = benchmark(covering_numbers, cycle(12))
+    assert profile[0] == 2
+
+
+def test_bench_distributed_domination_stars(benchmark):
+    sym = sorted(symmetric_closure([union_of_stars(6, (0, 1, 2))]))
+    value = benchmark(distributed_domination_number, sym)
+    assert value == 4  # n - s + 1
+
+
+def test_bench_pseudosphere_materialise(benchmark):
+    ps = Pseudosphere.uniform(tuple(range(4)), tuple(range(3)))
+    complex_ = benchmark(ps.to_complex)
+    assert len(complex_) == 81
+
+
+def test_bench_homology_pseudosphere(benchmark):
+    complex_ = Pseudosphere.uniform(tuple(range(4)), (0, 1)).to_complex()
+    betti = benchmark(reduced_betti_numbers, complex_)
+    assert betti == (0, 0, 0, 1)
+
+
+def test_bench_uninterpreted_complex_wheel4(benchmark):
+    complex_ = benchmark(uninterpreted_complex_of_closed_above, [wheel(4)])
+    assert complex_.dimension == 3
+
+
+def test_bench_graph_power_cycle64(benchmark):
+    g = cycle(64)
+    power = benchmark(graph_power, g, 8)
+    assert power.proper_edge_count == 64 * 8
+
+
+def test_bench_solvability_sat(benchmark):
+    generators = sorted(symmetric_closure([wheel(4)]))
+    result = benchmark(decide_one_round_solvability, generators, 3)
+    assert result.solvable
+
+
+def test_bench_solvability_unsat(benchmark):
+    generators = sorted(symmetric_closure([wheel(4)]))
+    result = benchmark(decide_one_round_solvability, generators, 2)
+    assert not result.solvable

@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_E*.py`` regenerates one experiment of EXPERIMENTS.md: it runs
+the corresponding table builder from :mod:`repro.analysis.tables` under
+pytest-benchmark, prints the table (visible with ``pytest -s``), and asserts
+the correctness column so that a drifting reproduction fails loudly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the benchmarks without installing the package first.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.render import render_table  # noqa: E402
+
+
+def run_table(benchmark, builder, *args, **kwargs):
+    """Benchmark a table builder and echo its rows."""
+    headers, rows = benchmark(builder, *args, **kwargs)
+    print()
+    print(render_table(headers, rows))
+    return headers, rows

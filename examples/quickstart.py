@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: bounds, algorithms and verification on one model.
+
+We take the paper's Figure 1 (right) graph — a broadcaster plus a directed
+triangle — build the symmetric closed-above model it generates, compute
+every bound the paper provides, run the witnessing algorithms, and confirm
+the lower bound by exhaustive search.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    FloodMin,
+    KSetAgreement,
+    bound_report,
+    decide_one_round_solvability,
+    verify_algorithm,
+)
+from repro.analysis import render_graph
+from repro.graphs import figure1_second, symmetric_closure
+from repro.models import symmetric_closed_above
+
+
+def main() -> None:
+    generator = figure1_second()
+    print(render_graph(generator, "Figure 1 (right): wheel on 4 processes"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 1. The paper's bounds (Thms 3.4, 3.7, 5.4), straight from the graph.
+    # ------------------------------------------------------------------
+    sym = sorted(symmetric_closure([generator]))
+    report = bound_report(sym)
+    print(report.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. The upper bound is constructive: FloodMin really does it.
+    # ------------------------------------------------------------------
+    model = symmetric_closed_above([generator])
+    k = report.best_upper.k
+    task = KSetAgreement(k, range(k + 1))
+    verification = verify_algorithm(
+        FloodMin(rounds=1),
+        model,
+        task,
+        superset_samples=5,
+        rng=random.Random(0),
+    )
+    print(
+        f"FloodMin achieves {k}-set agreement over "
+        f"{verification.executions} adversarial executions: "
+        f"{'OK' if verification.ok else 'FAILED'}"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. The lower bound is exact: no oblivious decision map can do k-1,
+    #    already over the generator graphs alone.
+    # ------------------------------------------------------------------
+    search = decide_one_round_solvability(sym, k - 1)
+    print(search.describe())
+    print()
+    print(
+        f"=> {k}-set agreement is the exact one-round frontier of this "
+        f"model (paper Sec 3.2: the covering bound beats γ_eq = 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

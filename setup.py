@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so PEP
+660 editable installs (which must build a wheel) fail.  Keeping a setup.py
+lets ``pip install -e . --no-build-isolation`` fall back to the classic
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — a full reproduction of Shimi & Castañeda (PODC 2020):
+*K-set agreement bounds in round-based models through combinatorial topology*.
+
+The library provides, from scratch:
+
+* :mod:`repro.graphs` — communication graphs, families, upward closures,
+  symmetric closures, the graph path product;
+* :mod:`repro.combinatorics` — domination / equal-domination / covering /
+  distributed-domination / max-covering numbers and covering sequences;
+* :mod:`repro.topology` — simplexes, complexes, pseudospheres, homology,
+  nerves, shellability, uninterpreted complexes and their interpretations;
+* :mod:`repro.models` — oblivious and closed-above round-based models,
+  Heard-Of predicates, adversaries, multi-round products;
+* :mod:`repro.agreement` — the k-set agreement task, oblivious algorithms
+  (MinOfDominatingSet, FloodMin), execution engine;
+* :mod:`repro.bounds` — every bound theorem of the paper as an executable
+  function with provenance;
+* :mod:`repro.verification` — exhaustive algorithm verification and exact
+  one-round solvability search (the ground truth for the bounds);
+* :mod:`repro.analysis` — the experiment tables (E1..E14) reproducing every
+  figure and worked example of the paper.
+
+Quickstart
+----------
+>>> from repro import bound_report
+>>> from repro.graphs import wheel, symmetric_closure
+>>> report = bound_report(symmetric_closure([wheel(4)]))
+>>> report.best_upper.k, report.best_lower.k, report.tight
+(3, 2, True)
+"""
+
+from .agreement import FloodMin, KSetAgreement, MinOfDominatingSet, execute
+from .bounds import Bound, BoundKind, BoundReport, bound_report
+from .graphs import Digraph
+from .models import ClosedAboveModel, simple_closed_above, symmetric_closed_above
+from .verification import decide_one_round_solvability, verify_algorithm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Digraph",
+    "ClosedAboveModel",
+    "simple_closed_above",
+    "symmetric_closed_above",
+    "FloodMin",
+    "MinOfDominatingSet",
+    "KSetAgreement",
+    "execute",
+    "Bound",
+    "BoundKind",
+    "BoundReport",
+    "bound_report",
+    "decide_one_round_solvability",
+    "verify_algorithm",
+    "__version__",
+]

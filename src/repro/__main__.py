@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro bounds --family wheel --n 4 [--symmetric] [--rounds 2]
+    python -m repro search --family cycle --n 4 --k 1 [--full]
+    python -m repro verify --family cycle --n 4 --k 2 [--rounds 3]
+    python -m repro experiments [E1 E6 ...]
+
+``--family`` names any zero/one-argument constructor from
+:mod:`repro.graphs.families` (star, cycle, wheel, path, out_tree,
+tournament, ...); ``union_of_stars`` additionally takes ``--centers``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import graphs as graph_families
+from .agreement import FloodMin, KSetAgreement
+from .bounds import bound_report
+from .graphs import Digraph, symmetric_closure
+from .models import simple_closed_above, symmetric_closed_above
+from .verification import decide_one_round_solvability, verify_algorithm
+
+_FAMILIES = (
+    "star", "cycle", "bidirectional_cycle", "path", "wheel",
+    "out_tree", "in_tree", "tournament", "complete_graph", "empty_graph",
+    "union_of_stars",
+)
+
+
+def _build_graph(args: argparse.Namespace) -> Digraph:
+    if args.family not in _FAMILIES:
+        raise SystemExit(
+            f"unknown family {args.family!r}; choose from {', '.join(_FAMILIES)}"
+        )
+    constructor = getattr(graph_families, args.family)
+    if args.family == "union_of_stars":
+        centers = tuple(int(c) for c in (args.centers or "0").split(","))
+        return constructor(args.n, centers)
+    return constructor(args.n)
+
+
+def _generators(args: argparse.Namespace) -> list[Digraph]:
+    g = _build_graph(args)
+    if args.symmetric:
+        return sorted(symmetric_closure([g]))
+    return [g]
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    report = bound_report(_generators(args), rounds=args.rounds)
+    print(report.describe())
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    generators = _generators(args)
+    if args.full:
+        model = (
+            symmetric_closed_above(generators)
+            if args.symmetric
+            else simple_closed_above(generators[0])
+        )
+        pool = sorted(model.iter_graphs(max_graphs=args.budget))
+        scope = f"full model ({len(pool)} graphs)"
+    else:
+        pool = generators
+        scope = f"generators ({len(pool)} graphs)"
+    result = decide_one_round_solvability(pool, args.k)
+    print(f"[{scope}] {result.describe()}")
+    if not args.full and result.solvable:
+        print(
+            "note: SAT over generators only means 'not disproved here'; "
+            "rerun with --full for a definitive answer on small models"
+        )
+    return 0 if result.solvable else 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    generators = _generators(args)
+    model = (
+        symmetric_closed_above(generators)
+        if args.symmetric
+        else simple_closed_above(generators[0])
+    )
+    task = KSetAgreement(args.k, range(args.k + 1))
+    report = verify_algorithm(
+        FloodMin(args.rounds), model, task, superset_samples=args.samples
+    )
+    status = "OK" if report.ok else "FAILED"
+    print(
+        f"FloodMin({args.rounds}) @ k={args.k}: {status} over "
+        f"{report.executions} executions"
+    )
+    for failure in report.failures[:3]:
+        print(f"  counterexample: inputs={failure.inputs} "
+              f"decisions={failure.decisions}")
+    return 0 if report.ok else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run
+
+    run(args.ids or None)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="K-set agreement bounds in round-based models "
+        "(Shimi & Castañeda, PODC 2020) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--family", required=True, help="graph family name")
+        p.add_argument("--n", type=int, required=True, help="process count")
+        p.add_argument("--centers", help="for union_of_stars: e.g. 0,1")
+        p.add_argument(
+            "--symmetric", action="store_true",
+            help="use the symmetric closure of the generator",
+        )
+
+    p_bounds = sub.add_parser("bounds", help="print the paper's bound report")
+    add_model_args(p_bounds)
+    p_bounds.add_argument("--rounds", type=int, default=1)
+    p_bounds.set_defaults(func=cmd_bounds)
+
+    p_search = sub.add_parser(
+        "search", help="exact one-round solvability (CSP search)"
+    )
+    add_model_args(p_search)
+    p_search.add_argument("--k", type=int, required=True)
+    p_search.add_argument(
+        "--full", action="store_true",
+        help="search over the fully enumerated model (small n only)",
+    )
+    p_search.add_argument("--budget", type=int, default=1 << 12)
+    p_search.set_defaults(func=cmd_search)
+
+    p_verify = sub.add_parser(
+        "verify", help="exhaustively verify FloodMin at a given k"
+    )
+    add_model_args(p_verify)
+    p_verify.add_argument("--k", type=int, required=True)
+    p_verify.add_argument("--rounds", type=int, default=1)
+    p_verify.add_argument("--samples", type=int, default=5)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_exp = sub.add_parser("experiments", help="run experiment tables")
+    p_exp.add_argument("ids", nargs="*", help="e.g. E1 E6 (default: all)")
+    p_exp.set_defaults(func=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Bit-set utilities used throughout the library.
+
+Processes are numbered ``0 .. n-1`` and sets of processes are represented as
+Python integers interpreted as bitmasks: bit ``i`` is set iff process ``i``
+belongs to the set.  Python's arbitrary-precision integers make this exact for
+any ``n``, and popcount / subset iteration compile down to fast C loops.
+
+All public graph and combinatorics code accepts and returns ordinary
+``frozenset``/``tuple`` views where convenient, but the inner loops work on
+masks produced by the helpers in this module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bit",
+    "mask_of",
+    "full_mask",
+    "popcount",
+    "iter_bits",
+    "bits_tuple",
+    "iter_subsets",
+    "iter_subsets_of_size",
+    "iter_supersets",
+    "lowest_bit",
+    "is_subset",
+]
+
+
+def bit(i: int) -> int:
+    """Return the mask containing only element ``i``."""
+    if i < 0:
+        raise ValueError(f"bit index must be non-negative, got {i}")
+    return 1 << i
+
+
+def mask_of(elements: Iterable[int]) -> int:
+    """Return the mask of an iterable of element indices."""
+    mask = 0
+    for element in elements:
+        if element < 0:
+            raise ValueError(f"element must be non-negative, got {element}")
+        mask |= 1 << element
+    return mask
+
+
+def full_mask(n: int) -> int:
+    """Return the mask of the full set ``{0, ..., n-1}``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return (1 << n) - 1
+
+
+def popcount(mask: int) -> int:
+    """Return the number of elements in ``mask``."""
+    return mask.bit_count()
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the element indices present in ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_tuple(mask: int) -> tuple[int, ...]:
+    """Return the elements of ``mask`` as a sorted tuple."""
+    return tuple(iter_bits(mask))
+
+
+def lowest_bit(mask: int) -> int:
+    """Return the index of the lowest set bit of a non-empty mask."""
+    if mask == 0:
+        raise ValueError("mask is empty")
+    return (mask & -mask).bit_length() - 1
+
+
+def is_subset(a: int, b: int) -> bool:
+    """Return True iff mask ``a`` is a subset of mask ``b``."""
+    return a & ~b == 0
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Yield every subset of ``mask``, including ``0`` and ``mask`` itself.
+
+    Uses the standard descending subset-enumeration trick; subsets are yielded
+    in decreasing numeric order starting from ``mask``.
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def iter_subsets_of_size(mask: int, size: int) -> Iterator[int]:
+    """Yield every subset of ``mask`` containing exactly ``size`` elements."""
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    elements = bits_tuple(mask)
+    if size > len(elements):
+        return
+    # Gosper-style enumeration over positions, then map back through the
+    # element list so sparse masks are handled without scanning gaps.
+    from itertools import combinations
+
+    for combo in combinations(elements, size):
+        yield mask_of(combo)
+
+
+def iter_supersets(mask: int, universe: int) -> Iterator[int]:
+    """Yield every superset of ``mask`` inside ``universe``.
+
+    ``mask`` must be a subset of ``universe``.  The number of supersets is
+    ``2**(popcount(universe) - popcount(mask))``; callers are responsible for
+    keeping that tractable.
+    """
+    if not is_subset(mask, universe):
+        raise ValueError("mask must be a subset of universe")
+    free = universe & ~mask
+    sub = free
+    while True:
+        yield mask | sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & free

@@ -1,0 +1,42 @@
+"""The k-set agreement task, oblivious algorithms, and the execution engine."""
+
+from .algorithms import FloodMin, MinOfDominatingSet, ObliviousAlgorithm
+from .decision_map import DecisionMapAlgorithm
+from .execution import (
+    ExecutionResult,
+    execute,
+    execute_with_adversary,
+    random_trials,
+)
+from .task import AgreementOutcome, KSetAgreement
+from .views import (
+    ObliviousView,
+    flatten_view,
+    full_information_round,
+    initial_full_view,
+    initial_oblivious_view,
+    oblivious_round,
+    run_full_information,
+    run_oblivious,
+)
+
+__all__ = [
+    "DecisionMapAlgorithm",
+    "FloodMin",
+    "MinOfDominatingSet",
+    "ObliviousAlgorithm",
+    "ExecutionResult",
+    "execute",
+    "execute_with_adversary",
+    "random_trials",
+    "AgreementOutcome",
+    "KSetAgreement",
+    "ObliviousView",
+    "flatten_view",
+    "full_information_round",
+    "initial_full_view",
+    "initial_oblivious_view",
+    "oblivious_round",
+    "run_full_information",
+    "run_oblivious",
+]

@@ -1,0 +1,123 @@
+"""Oblivious algorithms for k-set agreement (Secs 3 and 6).
+
+All the paper's upper bounds are realised by two families:
+
+* :class:`MinOfDominatingSet` — one round; decide the minimum value received
+  from a precomputed dominating set of the generator (Thm 3.2, simple
+  closed-above models).
+* :class:`FloodMin` — flood known pairs for ``r`` rounds, decide the overall
+  minimum (Thms 3.4/3.7 with ``r = 1``; Thms 6.4/6.5/6.7/6.9 for ``r > 1``).
+
+Both are *oblivious* (Def 2.5): their decision depends only on the flattened
+set of known ``(process, value)`` pairs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterable
+
+from .._bitops import bits_tuple, popcount
+from ..errors import AlgorithmError
+from ..graphs.digraph import Digraph
+from ..graphs.dominating import minimum_dominating_set
+from .views import ObliviousView
+
+__all__ = ["ObliviousAlgorithm", "MinOfDominatingSet", "FloodMin"]
+
+
+class ObliviousAlgorithm(ABC):
+    """An oblivious full-information protocol (Def 2.5).
+
+    Subclasses fix the number of communication rounds and a decision map
+    over flattened views.  The decision map must be total on the views the
+    target model can produce; a partial map signals a model mismatch by
+    raising :class:`AlgorithmError`.
+    """
+
+    def __init__(self, rounds: int):
+        if rounds < 1:
+            raise AlgorithmError(f"need at least one round, got {rounds}")
+        self._rounds = rounds
+
+    @property
+    def rounds(self) -> int:
+        """Number of communication rounds before deciding."""
+        return self._rounds
+
+    @abstractmethod
+    def decide(self, view: ObliviousView) -> Hashable:
+        """Decision map ``δ`` on a flattened view (set of (proc, value))."""
+
+    def name(self) -> str:
+        """Human-readable identifier for tables and reports."""
+        return type(self).__name__
+
+
+class MinOfDominatingSet(ObliviousAlgorithm):
+    """Thm 3.2's algorithm for simple closed-above models ``↑G``.
+
+    One round of flooding, then decide the minimum initial value among a
+    fixed minimum dominating set of ``G`` (computed upfront — ``G`` is
+    known).  Every allowed graph contains ``G``, so every process hears at
+    least one dominator; at most ``γ(G)`` values are ever decided.
+    """
+
+    def __init__(self, generator: Digraph, dominating_set: Iterable[int] | None = None):
+        super().__init__(rounds=1)
+        self._generator = generator
+        if dominating_set is None:
+            members = minimum_dominating_set(generator)
+        else:
+            members = 0
+            for p in dominating_set:
+                if not 0 <= p < generator.n:
+                    raise AlgorithmError(f"process {p} out of range")
+                members |= 1 << p
+            if not generator.dominates(members):
+                raise AlgorithmError(
+                    f"{sorted(dominating_set)} does not dominate the generator"
+                )
+        self._members = members
+
+    @property
+    def dominating_set(self) -> tuple[int, ...]:
+        """The fixed dominating set used by the decision map."""
+        return bits_tuple(self._members)
+
+    @property
+    def guarantee(self) -> int:
+        """The k this algorithm achieves: ``|dominating set|`` (≥ γ(G))."""
+        return popcount(self._members)
+
+    def decide(self, view: ObliviousView) -> Hashable:
+        candidates = [v for p, v in view if self._members >> p & 1]
+        if not candidates:
+            raise AlgorithmError(
+                "no value from the dominating set received — the execution "
+                "left the simple closed-above model of the generator"
+            )
+        return min(candidates)
+
+    def name(self) -> str:
+        return f"MinOfDominatingSet({self.dominating_set})"
+
+
+class FloodMin(ObliviousAlgorithm):
+    """Flood for ``r`` rounds, decide the minimum known value.
+
+    The workhorse of every other upper bound: Thm 3.4 (``γ_eq``), Thm 3.7
+    (covering numbers), and the multi-round Thms 6.4/6.5/6.7/6.9 — the
+    guarantees differ only in the analysis, the algorithm is identical.
+    """
+
+    def __init__(self, rounds: int = 1):
+        super().__init__(rounds=rounds)
+
+    def decide(self, view: ObliviousView) -> Hashable:
+        if not view:
+            raise AlgorithmError("empty view: a process always knows itself")
+        return min(v for _, v in view)
+
+    def name(self) -> str:
+        return f"FloodMin(rounds={self.rounds})"

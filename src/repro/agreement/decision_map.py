@@ -1,0 +1,74 @@
+"""Running arbitrary decision maps as oblivious algorithms.
+
+The solvability search (:mod:`repro.verification.solvability`) returns
+witness decision maps; wrapping one in :class:`DecisionMapAlgorithm` turns
+the SAT certificate into a runnable algorithm that the execution engine and
+exhaustive verifier accept — closing the loop between "a map exists" and
+"here is the protocol, watch it run".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+from ..errors import AlgorithmError
+from .algorithms import ObliviousAlgorithm
+from .views import ObliviousView
+
+__all__ = ["DecisionMapAlgorithm"]
+
+
+class DecisionMapAlgorithm(ObliviousAlgorithm):
+    """An oblivious algorithm given by an explicit (finite) decision map.
+
+    Parameters
+    ----------
+    decision_map:
+        Maps flattened views (``frozenset[(process, value)]``) to decided
+        values.  Must cover every view the target model can produce; a miss
+        raises :class:`AlgorithmError` at decision time.
+    rounds:
+        Communication rounds before the map is applied.
+    enforce_validity:
+        When True (default), constructing the algorithm verifies that each
+        entry decides a value present in its view — the validity-by-
+        construction property of the paper's algorithms.
+    """
+
+    def __init__(
+        self,
+        decision_map: Mapping[ObliviousView, Hashable],
+        rounds: int = 1,
+        enforce_validity: bool = True,
+    ):
+        super().__init__(rounds=rounds)
+        if not decision_map:
+            raise AlgorithmError("decision map is empty")
+        if enforce_validity:
+            for view, value in decision_map.items():
+                values_in_view = {v for _, v in view}
+                if value not in values_in_view:
+                    raise AlgorithmError(
+                        f"map decides {value!r} on a view containing only "
+                        f"{sorted(values_in_view, key=repr)} — validity "
+                        "would break"
+                    )
+        self._map = dict(decision_map)
+
+    @property
+    def size(self) -> int:
+        """Number of views the map covers."""
+        return len(self._map)
+
+    def decide(self, view: ObliviousView) -> Hashable:
+        try:
+            return self._map[view]
+        except KeyError:
+            raise AlgorithmError(
+                f"decision map does not cover the view {sorted(view, key=repr)}; "
+                "the execution left the graph/input universe the map was "
+                "built for"
+            ) from None
+
+    def name(self) -> str:
+        return f"DecisionMapAlgorithm(|map|={len(self._map)}, rounds={self.rounds})"

@@ -1,0 +1,153 @@
+"""Process views: full-information and oblivious (Def 2.5).
+
+A *full-information* view after ``r`` rounds is the nested transcript of
+everything ever received: at round 0 a process's view is its raw initial
+value; after each round the view of ``p`` becomes the set of pairs
+``(q, previous view of q)`` over the processes ``q`` that ``p`` heard.
+
+An *oblivious* view forgets the nesting: only the set of
+``(process, initial value)`` pairs survives (the paper's ``flat``).
+Oblivious algorithms are exactly the full-information protocols whose
+decision map factors through ``flat``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+from ..errors import AlgorithmError
+from ..graphs.digraph import Digraph
+
+__all__ = [
+    "ObliviousView",
+    "initial_full_view",
+    "full_information_round",
+    "run_full_information",
+    "flatten_view",
+    "initial_oblivious_view",
+    "oblivious_round",
+    "run_oblivious",
+]
+
+#: An oblivious view: the known (process, initial value) pairs.
+ObliviousView = frozenset
+
+
+# ----------------------------------------------------------------------
+# Full-information protocol
+# ----------------------------------------------------------------------
+
+def initial_full_view(process: int, value: Hashable):
+    """Round-0 full-information view: the raw initial value."""
+    del process  # the value alone is the paper's round-0 payload
+    return value
+
+
+def full_information_round(
+    views: Sequence, graph: Digraph
+) -> list[frozenset]:
+    """One communication round of the full-information protocol.
+
+    ``views[q]`` is ``q``'s view before the round; afterwards ``p`` holds
+    ``{(q, views[q]) | q ∈ In_G(p)}``.
+    """
+    if len(views) != graph.n:
+        raise AlgorithmError(
+            f"{len(views)} views for a graph on {graph.n} processes"
+        )
+    return [
+        frozenset((q, views[q]) for q in graph.in_neighbors(p))
+        for p in graph.processes()
+    ]
+
+
+def run_full_information(
+    inputs: Mapping[int, Hashable], graphs: Sequence[Digraph]
+) -> list:
+    """Full-information views after playing the given graph sequence."""
+    if not graphs:
+        raise AlgorithmError("need at least one round")
+    n = graphs[0].n
+    _check_inputs(inputs, n)
+    views: list = [initial_full_view(p, inputs[p]) for p in range(n)]
+    for g in graphs:
+        if g.n != n:
+            raise AlgorithmError("all round graphs must share the process count")
+        views = full_information_round(views, g)
+    return views
+
+
+def flatten_view(view, *, _process: int | None = None) -> ObliviousView:
+    """The paper's ``flat`` (Def 2.5): extract known (process, value) pairs.
+
+    ``view`` must be a full-information view produced after at least one
+    round, i.e. a frozenset of ``(process, subview)`` pairs where leaf
+    subviews are raw initial values.
+    """
+    if not isinstance(view, frozenset):
+        raise AlgorithmError(
+            "flatten_view expects a post-round view (frozenset of pairs); "
+            f"got {view!r}"
+        )
+    pairs: set[tuple[int, Hashable]] = set()
+    for process, sub in view:
+        if isinstance(sub, frozenset):
+            pairs |= flatten_view(sub)
+        else:
+            pairs.add((process, sub))
+    return frozenset(pairs)
+
+
+# ----------------------------------------------------------------------
+# Oblivious protocol (works directly on flattened knowledge)
+# ----------------------------------------------------------------------
+
+def initial_oblivious_view(process: int, value: Hashable) -> ObliviousView:
+    """Round-0 oblivious knowledge: a process knows its own pair."""
+    return frozenset({(process, value)})
+
+
+def oblivious_round(
+    views: Sequence[ObliviousView], graph: Digraph
+) -> list[ObliviousView]:
+    """One round of oblivious knowledge propagation.
+
+    ``p``'s new knowledge is the union of the knowledge of everyone it
+    heard.  Equals ``flat ∘ full_information_round`` — a property test
+    asserts the commutation.
+    """
+    if len(views) != graph.n:
+        raise AlgorithmError(
+            f"{len(views)} views for a graph on {graph.n} processes"
+        )
+    merged: list[ObliviousView] = []
+    for p in graph.processes():
+        acc: set = set()
+        for q in graph.in_neighbors(p):
+            acc |= views[q]
+        merged.append(frozenset(acc))
+    return merged
+
+
+def run_oblivious(
+    inputs: Mapping[int, Hashable], graphs: Sequence[Digraph]
+) -> list[ObliviousView]:
+    """Oblivious knowledge of every process after the graph sequence."""
+    if not graphs:
+        raise AlgorithmError("need at least one round")
+    n = graphs[0].n
+    _check_inputs(inputs, n)
+    views = [initial_oblivious_view(p, inputs[p]) for p in range(n)]
+    for g in graphs:
+        if g.n != n:
+            raise AlgorithmError("all round graphs must share the process count")
+        views = oblivious_round(views, g)
+    return views
+
+
+def _check_inputs(inputs: Mapping[int, Hashable], n: int) -> None:
+    if set(inputs) != set(range(n)):
+        raise AlgorithmError(
+            f"inputs must cover exactly processes 0..{n - 1}, "
+            f"got {sorted(inputs)}"
+        )

@@ -1,0 +1,49 @@
+"""Executable versions of every bound theorem in the paper."""
+
+from .lower import (
+    best_lower_bound,
+    lower_bound_general,
+    lower_bound_general_multi_round,
+    lower_bound_simple,
+    lower_bound_simple_multi_round,
+    lower_bound_star_unions,
+    lower_bound_symmetric,
+)
+from .report import BoundReport, bound_report
+from .results import Bound, BoundKind
+from .upper import (
+    all_covering_upper_bounds,
+    best_upper_bound,
+    upper_bound_covering,
+    upper_bound_covering_multi_round,
+    upper_bound_covering_sequence,
+    upper_bound_covering_sequence_of_set,
+    upper_bound_gamma_eq,
+    upper_bound_gamma_eq_multi_round,
+    upper_bound_simple,
+    upper_bound_simple_multi_round,
+)
+
+__all__ = [
+    "Bound",
+    "BoundKind",
+    "BoundReport",
+    "bound_report",
+    "best_lower_bound",
+    "lower_bound_general",
+    "lower_bound_general_multi_round",
+    "lower_bound_simple",
+    "lower_bound_simple_multi_round",
+    "lower_bound_star_unions",
+    "lower_bound_symmetric",
+    "all_covering_upper_bounds",
+    "best_upper_bound",
+    "upper_bound_covering",
+    "upper_bound_covering_multi_round",
+    "upper_bound_covering_sequence",
+    "upper_bound_covering_sequence_of_set",
+    "upper_bound_gamma_eq",
+    "upper_bound_gamma_eq_multi_round",
+    "upper_bound_simple",
+    "upper_bound_simple_multi_round",
+]

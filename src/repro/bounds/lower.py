@@ -1,0 +1,204 @@
+"""Lower bounds on k-set agreement for closed-above models (Secs 5 and 6.3).
+
+The bounds are *stated* purely in terms of graph numbers; their paper proofs
+go through combinatorial topology (pseudosphere connectivity + Lemma 4.17).
+The :mod:`repro.verification` package confirms them independently by
+exhaustive search over oblivious decision maps on small ``n``, and
+:mod:`repro.topology` reproduces the connectivity computations themselves.
+
+Erratum handled here: the body of Thm 6.10 reads "``(γ(G)-1)``-set agreement
+is not solvable in ``r`` rounds", but its own proof (Appendix E) reduces to
+the one-round bound on ``↑(G^r)``, i.e. ``γ(G^r) - 1`` — and the stated
+version would contradict Thm 6.3 whenever ``γ(G^r) < γ(G)`` (e.g. directed
+cycles).  We implement the proof's version.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..combinatorics.distributed import (
+    distributed_domination_number,
+    max_covering_coefficient,
+)
+from ..errors import GraphError
+from ..graphs.digraph import Digraph
+from ..graphs.dominating import domination_number
+from ..graphs.operations import graph_power, set_power
+from ..graphs.symmetry import symmetric_closure
+from .results import Bound, BoundKind
+
+__all__ = [
+    "lower_bound_simple",
+    "lower_bound_general",
+    "lower_bound_symmetric",
+    "lower_bound_simple_multi_round",
+    "lower_bound_general_multi_round",
+    "lower_bound_star_unions",
+    "best_lower_bound",
+]
+
+
+def lower_bound_simple(generator: Digraph) -> Bound:
+    """Thm 5.1 (from Castañeda et al.): ``k < γ(G)`` unsolvable on ``↑G``.
+
+    Returned as the strongest impossible ``k``, namely ``γ(G) - 1``;
+    ``γ(G) = 1`` gives a vacuous bound (0-set agreement is no task).
+    """
+    gamma = domination_number(generator)
+    return Bound(
+        kind=BoundKind.LOWER,
+        k=gamma - 1,
+        rounds=1,
+        theorem="5.1",
+        details={"gamma": gamma},
+    )
+
+
+def lower_bound_general(
+    generators: Iterable[Digraph], semantics: str = "pointwise"
+) -> Bound:
+    """Thm 5.4: ``(l+1)``-set agreement unsolvable in one round, where
+
+    ``l = min(γ_dist(S) - 2, min_t (t + M_t(S) - 2))`` over
+    ``t ∈ [1, γ_dist(S) - 1]``.
+
+    ``semantics`` selects the Def 5.2 reading (see
+    :mod:`repro.combinatorics.distributed`); "pointwise" reproduces the
+    paper's own worked examples.
+    """
+    generators = _as_tuple(generators)
+    ell, numbers = _ell(generators, semantics)
+    return Bound(
+        kind=BoundKind.LOWER,
+        k=max(ell + 1, 0),
+        rounds=1,
+        theorem="5.4",
+        details=numbers,
+    )
+
+
+def lower_bound_symmetric(
+    generator: Digraph, semantics: str = "pointwise"
+) -> Bound:
+    """Cor 5.5: Thm 5.4 applied to ``Sym(↑G)``.
+
+    Computed directly on the symmetric closure; the corollary's closed-form
+    coefficient ``⌊(n-t-1)/(t·(max-cov_t({G})-t))⌋`` is exercised separately
+    in the tests against this value.
+    """
+    sym = tuple(symmetric_closure([generator]))
+    bound = lower_bound_general(sym, semantics)
+    return Bound(
+        kind=BoundKind.LOWER,
+        k=bound.k,
+        rounds=1,
+        theorem="5.5",
+        details=dict(bound.details),
+    )
+
+
+def lower_bound_simple_multi_round(generator: Digraph, rounds: int) -> Bound:
+    """Thm 6.10 (proof version): ``(γ(G^r)-1)``-set agreement unsolvable in
+    ``r`` rounds on ``↑G`` by *oblivious* algorithms."""
+    _check_rounds(rounds)
+    gamma = domination_number(graph_power(generator, rounds))
+    return Bound(
+        kind=BoundKind.LOWER,
+        k=gamma - 1,
+        rounds=rounds,
+        theorem="6.10",
+        oblivious_only=True,
+        details={"gamma_of_power": gamma},
+    )
+
+
+def lower_bound_general_multi_round(
+    generators: Iterable[Digraph], rounds: int, semantics: str = "pointwise"
+) -> Bound:
+    """Thm 6.11: the Thm 5.4 formula evaluated on ``S^r`` (oblivious algos)."""
+    _check_rounds(rounds)
+    generators = _as_tuple(generators)
+    power = tuple(set_power(generators, rounds))
+    ell, numbers = _ell(power, semantics)
+    numbers["power_size"] = len(power)
+    return Bound(
+        kind=BoundKind.LOWER,
+        k=max(ell + 1, 0),
+        rounds=rounds,
+        theorem="6.11",
+        oblivious_only=True,
+        details=numbers,
+    )
+
+
+def lower_bound_star_unions(n: int, s: int, rounds: int = 1) -> Bound:
+    """Thm 6.13: on the symmetric union-of-``s``-stars model,
+    ``(n-s)``-set agreement is unsolvable (any ``r``, oblivious algorithms).
+
+    The closed form ``l + 1 = n - s`` from the paper's Appendix G; the
+    tests cross-check it against :func:`lower_bound_general` evaluated on
+    the materialised model.
+    """
+    if not 1 <= s <= n:
+        raise GraphError(f"need 1 <= s <= n, got s={s}, n={n}")
+    _check_rounds(rounds)
+    return Bound(
+        kind=BoundKind.LOWER,
+        k=n - s,
+        rounds=rounds,
+        theorem="6.13",
+        oblivious_only=True,
+        details={"n": n, "s": s, "gamma_dist": n - s + 1},
+    )
+
+
+def best_lower_bound(
+    generators: Iterable[Digraph], rounds: int = 1, semantics: str = "pointwise"
+) -> Bound:
+    """The strongest impossibility any of the paper's lower bounds gives."""
+    generators = _as_tuple(generators)
+    candidates: list[Bound] = []
+    if rounds == 1:
+        if len(generators) == 1:
+            candidates.append(lower_bound_simple(generators[0]))
+        candidates.append(lower_bound_general(generators, semantics))
+    else:
+        if len(generators) == 1:
+            candidates.append(
+                lower_bound_simple_multi_round(generators[0], rounds)
+            )
+        candidates.append(
+            lower_bound_general_multi_round(generators, rounds, semantics)
+        )
+    return max(candidates, key=lambda b: b.k)
+
+
+def _ell(generators: tuple[Digraph, ...], semantics: str) -> tuple[int, dict]:
+    gamma_dist = distributed_domination_number(generators, semantics)
+    coefficients = {}
+    terms = [gamma_dist - 2]
+    for t in range(1, gamma_dist):
+        m_t = max_covering_coefficient(generators, t, semantics)
+        coefficients[t] = m_t
+        terms.append(t + m_t - 2)
+    ell = min(terms)
+    numbers = {
+        "gamma_dist": gamma_dist,
+        "coefficients": coefficients,
+        "ell": ell,
+        "semantics": semantics,
+    }
+    return ell, numbers
+
+
+def _as_tuple(generators: Iterable[Digraph]) -> tuple[Digraph, ...]:
+    generators = tuple(generators)
+    if not generators:
+        raise GraphError("need at least one generator")
+    return generators
+
+
+def _check_rounds(rounds: int) -> None:
+    if rounds < 1:
+        raise GraphError(f"rounds must be positive, got {rounds}")

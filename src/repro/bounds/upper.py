@@ -1,0 +1,228 @@
+"""Upper bounds on k-set agreement for closed-above models (Secs 3 and 6).
+
+Each function returns a :class:`~repro.bounds.results.Bound` asserting that
+``k``-set agreement *is* solvable, witnessed by a concrete algorithm from
+:mod:`repro.agreement.algorithms` (the verification package replays them).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .._bitops import bits_tuple
+from ..combinatorics.covering import covering_number_of_set
+from ..combinatorics.domination import equal_domination_number_of_set
+from ..combinatorics.sequences import (
+    rounds_to_reach_all,
+    rounds_to_reach_all_of_set,
+)
+from ..errors import GraphError
+from ..graphs.digraph import Digraph
+from ..graphs.dominating import domination_number, minimum_dominating_set
+from ..graphs.operations import graph_power, set_power
+from .results import Bound, BoundKind
+
+__all__ = [
+    "upper_bound_simple",
+    "upper_bound_gamma_eq",
+    "upper_bound_covering",
+    "all_covering_upper_bounds",
+    "upper_bound_simple_multi_round",
+    "upper_bound_gamma_eq_multi_round",
+    "upper_bound_covering_multi_round",
+    "upper_bound_covering_sequence",
+    "upper_bound_covering_sequence_of_set",
+    "best_upper_bound",
+]
+
+
+def upper_bound_simple(generator: Digraph) -> Bound:
+    """Thm 3.2: ``γ(G)``-set agreement in one round on ``↑G``."""
+    dominating = minimum_dominating_set(generator)
+    gamma = len(bits_tuple(dominating))
+    return Bound(
+        kind=BoundKind.UPPER,
+        k=gamma,
+        rounds=1,
+        theorem="3.2",
+        details={"gamma": gamma, "dominating_set": bits_tuple(dominating)},
+    )
+
+
+def upper_bound_gamma_eq(generators: Iterable[Digraph]) -> Bound:
+    """Thm 3.4 / Cor 3.5: ``γ_eq(S)``-set agreement in one round."""
+    generators = _as_tuple(generators)
+    gamma_eq = equal_domination_number_of_set(generators)
+    return Bound(
+        kind=BoundKind.UPPER,
+        k=gamma_eq,
+        rounds=1,
+        theorem="3.4",
+        details={"gamma_eq": gamma_eq},
+    )
+
+
+def upper_bound_covering(generators: Iterable[Digraph], i: int) -> Bound:
+    """Thm 3.7 / Cor 3.8: ``(i + n - cov_i(S))``-set agreement in one round.
+
+    Valid for ``i ∈ [1, γ_eq(S))``; the paper's FloodMin analysis: the ``i``
+    smallest values reach at least ``cov_i(S)`` processes, the others are
+    written off.
+    """
+    generators = _as_tuple(generators)
+    n = generators[0].n
+    gamma_eq = equal_domination_number_of_set(generators)
+    if not 1 <= i < gamma_eq:
+        raise GraphError(
+            f"covering bound needs 1 <= i < γ_eq(S) = {gamma_eq}, got i={i}"
+        )
+    cov = covering_number_of_set(generators, i)
+    return Bound(
+        kind=BoundKind.UPPER,
+        k=i + (n - cov),
+        rounds=1,
+        theorem="3.7",
+        details={"i": i, "cov_i": cov, "n": n},
+    )
+
+
+def all_covering_upper_bounds(generators: Iterable[Digraph]) -> list[Bound]:
+    """Thm 3.7 swept over the full valid range of ``i``."""
+    generators = _as_tuple(generators)
+    gamma_eq = equal_domination_number_of_set(generators)
+    return [
+        upper_bound_covering(generators, i) for i in range(1, gamma_eq)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Multi-round (Sec 6.2)
+# ----------------------------------------------------------------------
+
+def upper_bound_simple_multi_round(generator: Digraph, rounds: int) -> Bound:
+    """Thm 6.3: ``γ(G^r)``-set agreement in ``r`` rounds on ``↑G``."""
+    _check_rounds(rounds)
+    power = graph_power(generator, rounds)
+    gamma = domination_number(power)
+    return Bound(
+        kind=BoundKind.UPPER,
+        k=gamma,
+        rounds=rounds,
+        theorem="6.3",
+        details={"gamma_of_power": gamma},
+    )
+
+
+def upper_bound_gamma_eq_multi_round(
+    generators: Iterable[Digraph], rounds: int
+) -> Bound:
+    """Thm 6.4: ``γ_eq(S^r)``-set agreement in ``r`` rounds."""
+    _check_rounds(rounds)
+    generators = _as_tuple(generators)
+    power = set_power(generators, rounds)
+    gamma_eq = equal_domination_number_of_set(power)
+    return Bound(
+        kind=BoundKind.UPPER,
+        k=gamma_eq,
+        rounds=rounds,
+        theorem="6.4",
+        details={"gamma_eq_of_power": gamma_eq, "power_size": len(power)},
+    )
+
+
+def upper_bound_covering_multi_round(
+    generators: Iterable[Digraph], rounds: int, i: int
+) -> Bound:
+    """Thm 6.5: ``(i + n - cov_i(S^r))``-set agreement in ``r`` rounds."""
+    _check_rounds(rounds)
+    generators = _as_tuple(generators)
+    n = generators[0].n
+    power = tuple(set_power(generators, rounds))
+    gamma_eq = equal_domination_number_of_set(power)
+    if not 1 <= i < gamma_eq:
+        raise GraphError(
+            f"covering bound needs 1 <= i < γ_eq(S^r) = {gamma_eq}, got i={i}"
+        )
+    cov = covering_number_of_set(power, i)
+    return Bound(
+        kind=BoundKind.UPPER,
+        k=i + (n - cov),
+        rounds=rounds,
+        theorem="6.5",
+        details={"i": i, "cov_i_of_power": cov, "power_size": len(power)},
+    )
+
+
+def upper_bound_covering_sequence(generator: Digraph, i: int) -> Bound | None:
+    """Thm 6.7: ``i``-set agreement once the covering sequence hits ``n``.
+
+    Returns the bound with the number of rounds the sequence needed, or
+    None when the sequence stalls (the theorem is silent then).
+    """
+    rounds = rounds_to_reach_all(generator, i)
+    if rounds is None:
+        return None
+    return Bound(
+        kind=BoundKind.UPPER,
+        k=i,
+        rounds=rounds,
+        theorem="6.7",
+        details={"i": i, "rounds_needed": rounds},
+    )
+
+
+def upper_bound_covering_sequence_of_set(
+    generators: Iterable[Digraph], i: int
+) -> Bound | None:
+    """Thm 6.9: set version of the covering-sequence bound."""
+    generators = _as_tuple(generators)
+    rounds = rounds_to_reach_all_of_set(generators, i)
+    if rounds is None:
+        return None
+    return Bound(
+        kind=BoundKind.UPPER,
+        k=i,
+        rounds=rounds,
+        theorem="6.9",
+        details={"i": i, "rounds_needed": rounds},
+    )
+
+
+def best_upper_bound(generators: Iterable[Digraph], rounds: int = 1) -> Bound:
+    """The smallest ``k`` any of the paper's upper bounds certifies.
+
+    Combines Thm 3.2/6.3 (when simple), Thm 3.4/6.4 and the Thm 3.7/6.5
+    sweep at the given round count.
+    """
+    generators = _as_tuple(generators)
+    candidates: list[Bound] = []
+    if rounds == 1:
+        if len(generators) == 1:
+            candidates.append(upper_bound_simple(generators[0]))
+        candidates.append(upper_bound_gamma_eq(generators))
+        candidates.extend(all_covering_upper_bounds(generators))
+    else:
+        if len(generators) == 1:
+            candidates.append(
+                upper_bound_simple_multi_round(generators[0], rounds)
+            )
+        candidates.append(upper_bound_gamma_eq_multi_round(generators, rounds))
+        power = tuple(set_power(generators, rounds))
+        gamma_eq = equal_domination_number_of_set(power)
+        for i in range(1, gamma_eq):
+            candidates.append(
+                upper_bound_covering_multi_round(generators, rounds, i)
+            )
+    return min(candidates, key=lambda b: b.k)
+
+
+def _as_tuple(generators: Iterable[Digraph]) -> tuple[Digraph, ...]:
+    generators = tuple(generators)
+    if not generators:
+        raise GraphError("need at least one generator")
+    return generators
+
+
+def _check_rounds(rounds: int) -> None:
+    if rounds < 1:
+        raise GraphError(f"rounds must be positive, got {rounds}")

@@ -1,0 +1,54 @@
+"""Combinatorial graph numbers behind every bound in the paper.
+
+* Domination ``γ`` and equal-domination ``γ_eq`` (Defs 3.1, 3.3).
+* Covering numbers ``cov_i`` (Def 3.6).
+* Distributed domination ``γ_dist``, max-covering ``max-cov_i`` and the
+  coefficients ``M_i`` (Defs 5.2, 5.3).
+* Covering-number sequences (Defs 6.6, 6.8).
+"""
+
+from .covering import (
+    covering_number,
+    covering_number_of_set,
+    covering_numbers,
+    worst_covered_set,
+)
+from .distributed import (
+    distributed_domination_number,
+    joint_out_of_set,
+    max_covering_coefficient,
+    max_covering_number,
+    max_covering_witness,
+)
+from .domination import (
+    domination_number,
+    equal_domination_number,
+    equal_domination_number_of_set,
+    worst_non_dominating_set,
+)
+from .sequences import (
+    covering_sequence,
+    covering_sequence_of_set,
+    rounds_to_reach_all,
+    rounds_to_reach_all_of_set,
+)
+
+__all__ = [
+    "covering_number",
+    "covering_number_of_set",
+    "covering_numbers",
+    "worst_covered_set",
+    "distributed_domination_number",
+    "joint_out_of_set",
+    "max_covering_coefficient",
+    "max_covering_number",
+    "max_covering_witness",
+    "domination_number",
+    "equal_domination_number",
+    "equal_domination_number_of_set",
+    "worst_non_dominating_set",
+    "covering_sequence",
+    "covering_sequence_of_set",
+    "rounds_to_reach_all",
+    "rounds_to_reach_all_of_set",
+]

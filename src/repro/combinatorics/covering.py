@@ -1,0 +1,68 @@
+"""Covering numbers of graphs and graph sets (Def 3.6).
+
+``cov_i(G)`` is the worst-case audience of an ``i``-set: the minimum, over all
+sets ``P`` of ``i`` processes, of ``|Out_G(P)|``.  For a set of graphs the
+paper takes the pessimistic ``cov_i(S) = min_{G∈S} cov_i(G)``.
+
+Because of self-loops ``cov_i ≥ i`` always; the paper uses these numbers for
+``i < γ_eq(S)`` (above that every set dominates and the number degenerates to
+``n``), but the functions below are total in ``i ∈ [1, n]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .._bitops import full_mask, iter_subsets_of_size, popcount
+from ..errors import GraphError
+from ..graphs.digraph import Digraph
+
+__all__ = [
+    "covering_number",
+    "covering_number_of_set",
+    "covering_numbers",
+    "worst_covered_set",
+]
+
+
+def covering_number(g: Digraph, i: int) -> int:
+    """``cov_i(G) = min_{|P|=i} |Out_G(P)|`` (Def 3.6)."""
+    _check_i(g.n, i)
+    universe = full_mask(g.n)
+    return min(
+        popcount(g.out_of_set(p)) for p in iter_subsets_of_size(universe, i)
+    )
+
+
+def covering_number_of_set(graphs: Iterable[Digraph], i: int) -> int:
+    """``cov_i(S) = min_{G∈S} cov_i(G)`` (Def 3.6)."""
+    graphs = tuple(graphs)
+    if not graphs:
+        raise GraphError("cov_i of an empty graph set is undefined")
+    return min(covering_number(g, i) for g in graphs)
+
+
+def covering_numbers(g: Digraph) -> tuple[int, ...]:
+    """The full profile ``(cov_1(G), ..., cov_n(G))``."""
+    universe = full_mask(g.n)
+    profile = []
+    for i in range(1, g.n + 1):
+        profile.append(
+            min(popcount(g.out_of_set(p)) for p in iter_subsets_of_size(universe, i))
+        )
+    return tuple(profile)
+
+
+def worst_covered_set(g: Digraph, i: int) -> int:
+    """A witness ``i``-set whose audience realises ``cov_i(G)`` (bitmask)."""
+    _check_i(g.n, i)
+    universe = full_mask(g.n)
+    return min(
+        iter_subsets_of_size(universe, i),
+        key=lambda p: popcount(g.out_of_set(p)),
+    )
+
+
+def _check_i(n: int, i: int) -> None:
+    if not 1 <= i <= n:
+        raise GraphError(f"covering index must be in [1, n], got i={i}, n={n}")

@@ -1,0 +1,186 @@
+"""Distributed domination and max-covering numbers (Defs 5.2 and 5.3).
+
+These two quantities drive the paper's one-round lower bound (Thm 5.4):
+
+* ``γ_dist(S)`` — the least ``i`` such that every ``i``-set of processes
+  jointly dominates every admissible choice of graphs from ``S``.
+* ``max-cov_i(S)`` — for ``i < γ_dist(S)``: the *best-case* spread of an
+  ``i``-set across an admissible choice of graphs, among non-dominating
+  choices.  It measures how far values can travel while leaving somebody
+  ignorant — exactly what indistinguishability arguments need.
+* ``M_i(S)`` — the coefficient ``⌊(n-i-1) / (max-cov_i(S) - i)⌋``, or
+  ``n - i`` when ``max-cov_i(S) = i`` (Def 5.3).
+
+Two semantics for "admissible choice of graphs"
+-----------------------------------------------
+The arXiv text of Def 5.2 quantifies over *subsets* ``S_i ⊆ S`` with
+``|S_i| = min(i, |S|)`` exactly.  However, the proof of Thm 5.4 (Appendix B)
+chooses graphs ``G_0, ..., G_t ∈ S`` **independently, with repetition**, and
+the paper's own worked computation for unions of ``s`` stars (Sec 5 and
+Appendix G: ``γ_dist = n - s + 1`` via "the graph where the s centres lie in
+``Π \\ P``") is only reproduced by the with-repetition reading.  Allowing
+repetition makes the binding constraint a single graph, so the predicate
+collapses to "every ``i``-set dominates every ``G ∈ S`` individually".
+
+We therefore expose both:
+
+* ``semantics="pointwise"`` (default) — tuples with repetition, the reading
+  consistent with the Thm 5.4 proof and the star computations.  Under it
+  ``γ_dist(S) = γ_eq(S)`` and non-dominating graph choices are arbitrary
+  non-empty subsets of size at most ``min(i, |S|)``.
+* ``semantics="subsets"`` — the literal Def 5.2 text: distinct graphs,
+  exactly ``min(i, |S|)`` of them.  Gives smaller (weaker for lower bounds)
+  values on models like the star unions; kept for fidelity and for the
+  E10 tightness experiments.
+
+EXPERIMENTS.md E6/E10 record how the two compare against exhaustive
+solvability searches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from itertools import combinations
+
+from .._bitops import full_mask, iter_subsets_of_size, popcount
+from ..errors import GraphError
+from ..graphs.digraph import Digraph
+
+__all__ = [
+    "joint_out_of_set",
+    "distributed_domination_number",
+    "max_covering_number",
+    "max_covering_coefficient",
+    "max_covering_witness",
+    "SEMANTICS",
+]
+
+SEMANTICS = ("pointwise", "subsets")
+
+
+def joint_out_of_set(graphs: Iterable[Digraph], members: int) -> int:
+    """``⋃_{G ∈ graphs} Out_G(P)`` as a bitmask."""
+    acc = 0
+    for g in graphs:
+        acc |= g.out_of_set(members)
+    return acc
+
+
+def distributed_domination_number(
+    graphs: Iterable[Digraph], semantics: str = "pointwise"
+) -> int:
+    """``γ_dist(S)`` (Def 5.2) under the chosen semantics.
+
+    The defining predicate is monotone in ``i`` under both semantics (larger
+    process sets only enlarge audiences; under "subsets", larger mandatory
+    graph subsets enlarge the joint audience too) and holds at ``i = n``
+    thanks to self-loops, so a linear scan terminates.
+    """
+    s = _as_tuple(graphs)
+    _check_semantics(semantics)
+    n = s[0].n
+    universe = full_mask(n)
+    for i in range(1, n + 1):
+        if _dominates_at(s, universe, i, semantics):
+            return i
+    raise AssertionError("unreachable: Π dominates jointly via self-loops")
+
+
+def max_covering_number(
+    graphs: Iterable[Digraph], i: int, semantics: str = "pointwise"
+) -> int:
+    """``max-cov_i(S)`` (Def 5.3); requires ``i < γ_dist(S)``.
+
+    Maximum joint audience ``|⋃ Out_G(P)|`` over all ``i``-sets ``P`` and all
+    admissible non-dominating graph choices.  Raises :class:`GraphError` when
+    every admissible choice dominates (``i ≥ γ_dist(S)``).
+    """
+    witness = max_covering_witness(graphs, i, semantics)
+    if witness is None:
+        raise GraphError(
+            f"max-cov_{i} undefined: every choice dominates (i >= γ_dist(S))"
+        )
+    return witness[0]
+
+
+def max_covering_witness(
+    graphs: Iterable[Digraph], i: int, semantics: str = "pointwise"
+) -> tuple[int, int, tuple[Digraph, ...]] | None:
+    """Realising witness ``(value, members_mask, graph_choice)`` or None.
+
+    The graph choice is returned as the support of the best non-dominating
+    selection; None means every admissible choice dominates.
+    """
+    s = _as_tuple(graphs)
+    _check_semantics(semantics)
+    n = s[0].n
+    if not 1 <= i <= n:
+        raise GraphError(f"index must be in [1, n], got i={i}, n={n}")
+    universe = full_mask(n)
+    group_size = min(i, len(s))
+    if semantics == "subsets":
+        sizes: tuple[int, ...] = (group_size,)
+    else:
+        sizes = tuple(range(1, group_size + 1))
+    best: tuple[int, int, tuple[Digraph, ...]] | None = None
+    for members in iter_subsets_of_size(universe, i):
+        for size in sizes:
+            for subset in combinations(s, size):
+                audience = joint_out_of_set(subset, members)
+                if audience == universe:
+                    continue
+                value = popcount(audience)
+                if best is None or value > best[0]:
+                    best = (value, members, subset)
+    return best
+
+
+def max_covering_coefficient(
+    graphs: Iterable[Digraph], i: int, semantics: str = "pointwise"
+) -> int:
+    """``M_i(S)`` (Def 5.3): the lower bound's connectivity budget.
+
+    ``⌊(n - i - 1) / (max-cov_i(S) - i)⌋`` when values can spread beyond
+    their holders (``max-cov_i > i``), else ``n - i`` (silent sets).
+    """
+    s = _as_tuple(graphs)
+    n = s[0].n
+    max_cov = max_covering_number(s, i, semantics)
+    if max_cov > i:
+        return (n - i - 1) // (max_cov - i)
+    return n - i
+
+
+def _dominates_at(
+    s: tuple[Digraph, ...], universe: int, i: int, semantics: str
+) -> bool:
+    if semantics == "pointwise":
+        # Repetition allowed => the binding constraint is each single graph.
+        for members in iter_subsets_of_size(universe, i):
+            for g in s:
+                if g.out_of_set(members) != universe:
+                    return False
+        return True
+    group_size = min(i, len(s))
+    for members in iter_subsets_of_size(universe, i):
+        for subset in combinations(s, group_size):
+            if joint_out_of_set(subset, members) != universe:
+                return False
+    return True
+
+
+def _check_semantics(semantics: str) -> None:
+    if semantics not in SEMANTICS:
+        raise GraphError(
+            f"unknown semantics {semantics!r}; expected one of {SEMANTICS}"
+        )
+
+
+def _as_tuple(graphs: Iterable[Digraph]) -> tuple[Digraph, ...]:
+    s = tuple(graphs)
+    if not s:
+        raise GraphError("graph set must be non-empty")
+    n = s[0].n
+    if any(g.n != n for g in s):
+        raise GraphError("all graphs must share the same process count")
+    return s

@@ -1,0 +1,68 @@
+"""Domination and equal-domination numbers (Defs 3.1 and 3.3).
+
+``γ(G)`` is the classical domination number (smallest dominating set).
+``γ_eq(G)`` is the paper's *equal-domination number*: the smallest ``i`` such
+that **every** set of ``i`` processes dominates ``G``; for a set of graphs,
+``γ_eq(S) = max_{G∈S} γ_eq(G)``, so that any ``γ_eq(S)`` processes dominate
+every generator simultaneously.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .._bitops import full_mask, iter_subsets_of_size
+from ..errors import GraphError
+from ..graphs.digraph import Digraph
+from ..graphs.dominating import domination_number
+
+__all__ = [
+    "domination_number",
+    "equal_domination_number",
+    "equal_domination_number_of_set",
+    "worst_non_dominating_set",
+]
+
+
+def equal_domination_number(g: Digraph) -> int:
+    """``γ_eq(G)``: least ``i`` with every ``i``-set dominating (Def 3.3).
+
+    The defining predicate is monotone in ``i`` (supersets of dominating sets
+    dominate), and ``i = n`` always works thanks to self-loops, so a linear
+    scan terminates.
+    """
+    universe = full_mask(g.n)
+    for i in range(1, g.n + 1):
+        if all(g.dominates(p) for p in iter_subsets_of_size(universe, i)):
+            return i
+    raise AssertionError("unreachable: the full process set dominates")
+
+
+def equal_domination_number_of_set(graphs: Iterable[Digraph]) -> int:
+    """``γ_eq(S) = max_{G∈S} γ_eq(G)`` (Def 3.3)."""
+    graphs = tuple(graphs)
+    if not graphs:
+        raise GraphError("γ_eq of an empty graph set is undefined")
+    _check_same_n(graphs)
+    return max(equal_domination_number(g) for g in graphs)
+
+
+def worst_non_dominating_set(g: Digraph, size: int) -> int | None:
+    """A ``size``-set failing to dominate ``g``, or None if all dominate.
+
+    Witness extractor used in tests and in lower-bound certificates: the
+    returned bitmask proves ``γ_eq(G) > size``.
+    """
+    if not 1 <= size <= g.n:
+        raise GraphError(f"size must be in [1, n], got {size}")
+    universe = full_mask(g.n)
+    for p in iter_subsets_of_size(universe, size):
+        if not g.dominates(p):
+            return p
+    return None
+
+
+def _check_same_n(graphs: tuple[Digraph, ...]) -> None:
+    n = graphs[0].n
+    if any(g.n != n for g in graphs):
+        raise GraphError("all graphs must share the same process count")

@@ -1,0 +1,105 @@
+"""Covering-number sequences (Defs 6.6 and 6.8) and their fixed points.
+
+The ``i``-th covering sequence of ``G`` tracks a guaranteed audience through
+rounds: ``s_1 = cov_i(G)``; afterwards ``s_{k+1} = n`` once ``s_k ≥ γ_eq(G)``
+(any such set dominates) and ``s_{k+1} = cov_{s_k}(G)`` otherwise.  If the
+sequence reaches ``n`` after ``r`` steps, the ``r``-round FloodMin algorithm
+solves ``i``-set agreement (Thms 6.7 / 6.9).
+
+Sequences are non-decreasing (``cov_j ≥ j`` by self-loops) but may stall at a
+fixed point ``cov_j(G) = j < n``; :func:`rounds_to_reach_all` returns ``None``
+in that case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import GraphError
+from ..graphs.digraph import Digraph
+from .covering import covering_number, covering_number_of_set
+from .domination import equal_domination_number, equal_domination_number_of_set
+
+__all__ = [
+    "covering_sequence",
+    "covering_sequence_of_set",
+    "rounds_to_reach_all",
+    "rounds_to_reach_all_of_set",
+]
+
+
+def covering_sequence(g: Digraph, i: int, max_rounds: int | None = None) -> list[int]:
+    """The ``i``-th covering-number sequence of ``G`` (Def 6.6).
+
+    Returns the sequence up to (and including) the first ``n`` or the first
+    repeated value (a stall), truncated at ``max_rounds`` entries if given.
+    """
+    _check_i(g.n, i)
+    gamma_eq = equal_domination_number(g)
+    return _iterate(
+        first=covering_number(g, i),
+        step=lambda j: covering_number(g, j),
+        n=g.n,
+        gamma_eq=gamma_eq,
+        max_rounds=max_rounds,
+    )
+
+
+def covering_sequence_of_set(
+    graphs: Iterable[Digraph], i: int, max_rounds: int | None = None
+) -> list[int]:
+    """The ``i``-th covering-number sequence of a set ``S`` (Def 6.8).
+
+    Uses the pessimistic ``min_G cov_j(G)`` step and the threshold
+    ``max_G γ_eq(G)`` exactly as in the paper.
+    """
+    s = tuple(graphs)
+    if not s:
+        raise GraphError("graph set must be non-empty")
+    n = s[0].n
+    _check_i(n, i)
+    gamma_eq = equal_domination_number_of_set(s)
+    return _iterate(
+        first=covering_number_of_set(s, i),
+        step=lambda j: covering_number_of_set(s, j),
+        n=n,
+        gamma_eq=gamma_eq,
+        max_rounds=max_rounds,
+    )
+
+
+def rounds_to_reach_all(g: Digraph, i: int) -> int | None:
+    """Number of rounds for the ``i``-th covering sequence to hit ``n``.
+
+    Returns ``None`` when the sequence stalls below ``n`` — then Thm 6.7
+    gives no upper bound for ``i``-set agreement on ``↑G``.
+    """
+    seq = covering_sequence(g, i)
+    return len(seq) if seq[-1] == g.n else None
+
+
+def rounds_to_reach_all_of_set(graphs: Iterable[Digraph], i: int) -> int | None:
+    """Set version of :func:`rounds_to_reach_all` (Thm 6.9)."""
+    s = tuple(graphs)
+    if not s:
+        raise GraphError("graph set must be non-empty")
+    seq = covering_sequence_of_set(s, i)
+    return len(seq) if seq[-1] == s[0].n else None
+
+
+def _iterate(first, step, n: int, gamma_eq: int, max_rounds: int | None) -> list[int]:
+    sequence = [first]
+    while sequence[-1] != n:
+        if max_rounds is not None and len(sequence) >= max_rounds:
+            break
+        current = sequence[-1]
+        nxt = n if current >= gamma_eq else step(current)
+        if nxt == current:  # stalled at a sub-dominating fixed point
+            break
+        sequence.append(nxt)
+    return sequence
+
+
+def _check_i(n: int, i: int) -> None:
+    if not 1 <= i <= n:
+        raise GraphError(f"sequence index must be in [1, n], got i={i}, n={n}")

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "ProcessMismatchError",
+    "ModelError",
+    "TopologyError",
+    "AlgorithmError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or invalid graph operations."""
+
+
+class ProcessMismatchError(GraphError):
+    """Raised when combining objects defined over different process sets."""
+
+
+class ModelError(ReproError):
+    """Raised for malformed communication models."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed simplexes/complexes or invalid topology ops."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm is run outside its contract."""
+
+
+class VerificationError(ReproError):
+    """Raised when a verification harness is misused."""

@@ -1,0 +1,179 @@
+"""Directed-graph substrate: the communication graphs of the paper.
+
+Public surface of the :mod:`repro.graphs` package:
+
+* :class:`Digraph` — immutable digraph with mandatory self-loops.
+* :mod:`~repro.graphs.families` — stars, cycles, trees, tournaments, the
+  figure graphs.
+* :mod:`~repro.graphs.operations` — union/intersection and the paper's path
+  product ``⊗`` (Def 6.1).
+* :mod:`~repro.graphs.closure` — upward closures ``↑G`` (Def 2.3).
+* :mod:`~repro.graphs.symmetry` — symmetric closures ``Sym(S)`` (Def 2.4).
+* :mod:`~repro.graphs.dominating` — exact/greedy dominating-set solvers.
+* :mod:`~repro.graphs.properties` — kernel / non-split / tournament tests.
+* :mod:`~repro.graphs.generators` — randomised instances for tests/benches.
+"""
+
+from .digraph import Digraph
+from .families import (
+    bidirectional_cycle,
+    bidirectional_path,
+    complete_bipartite,
+    complete_graph,
+    cycle,
+    empty_graph,
+    figure1_second,
+    figure1_star,
+    figure2_graph,
+    in_tree,
+    inward_star,
+    kernel_graph,
+    out_tree,
+    path,
+    rotating_tournament,
+    star,
+    tournament,
+    union_of_stars,
+    wheel,
+)
+from .closure import (
+    in_model,
+    in_upward_closure,
+    iter_model_graphs,
+    iter_upward_closure,
+    minimal_generators,
+    missing_edges,
+    sample_superset,
+    upward_closure_size,
+)
+from .dominating import (
+    all_minimum_dominating_sets,
+    domination_number,
+    greedy_dominating_set,
+    is_dominating_set,
+    minimum_dominating_set,
+)
+from .generators import (
+    iter_all_digraphs,
+    random_digraph,
+    random_graph_set,
+    random_spanning_star_graph,
+    random_tournament,
+    random_union_of_stars,
+)
+from .metrics import (
+    diameter,
+    distance,
+    distances_from,
+    eccentricity,
+    flooding_rounds,
+    radius,
+)
+from .operations import (
+    graph_power,
+    intersection,
+    path_product,
+    set_power,
+    set_product,
+    transitive_closure,
+    union,
+)
+from .properties import (
+    contains_spanning_star,
+    has_nonempty_kernel,
+    is_non_split,
+    is_strongly_connected,
+    is_tournament,
+    is_weakly_connected,
+    kernel,
+    min_in_degree,
+    min_out_degree,
+    sink_processes,
+    source_processes,
+)
+from .symmetry import (
+    canonical_form,
+    is_symmetric,
+    iter_isomorphism_classes,
+    orbit,
+    symmetric_closure,
+)
+
+__all__ = [
+    "Digraph",
+    # families
+    "bidirectional_cycle",
+    "bidirectional_path",
+    "complete_bipartite",
+    "complete_graph",
+    "cycle",
+    "empty_graph",
+    "figure1_second",
+    "figure1_star",
+    "figure2_graph",
+    "in_tree",
+    "inward_star",
+    "kernel_graph",
+    "out_tree",
+    "path",
+    "rotating_tournament",
+    "star",
+    "tournament",
+    "union_of_stars",
+    "wheel",
+    # closure
+    "in_model",
+    "in_upward_closure",
+    "iter_model_graphs",
+    "iter_upward_closure",
+    "minimal_generators",
+    "missing_edges",
+    "sample_superset",
+    "upward_closure_size",
+    # dominating
+    "all_minimum_dominating_sets",
+    "domination_number",
+    "greedy_dominating_set",
+    "is_dominating_set",
+    "minimum_dominating_set",
+    # generators
+    "iter_all_digraphs",
+    "random_digraph",
+    "random_graph_set",
+    "random_spanning_star_graph",
+    "random_tournament",
+    "random_union_of_stars",
+    # metrics
+    "diameter",
+    "distance",
+    "distances_from",
+    "eccentricity",
+    "flooding_rounds",
+    "radius",
+    # operations
+    "graph_power",
+    "intersection",
+    "path_product",
+    "set_power",
+    "set_product",
+    "transitive_closure",
+    "union",
+    # properties
+    "contains_spanning_star",
+    "has_nonempty_kernel",
+    "is_non_split",
+    "is_strongly_connected",
+    "is_tournament",
+    "is_weakly_connected",
+    "kernel",
+    "min_in_degree",
+    "min_out_degree",
+    "sink_processes",
+    "source_processes",
+    # symmetry
+    "canonical_form",
+    "is_symmetric",
+    "iter_isomorphism_classes",
+    "orbit",
+    "symmetric_closure",
+]

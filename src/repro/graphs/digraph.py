@@ -1,0 +1,295 @@
+"""Immutable directed communication graphs.
+
+A :class:`Digraph` is the paper's communication graph (Sec 2.1): nodes are the
+processes ``0 .. n-1`` and an edge ``(u, v)`` means that, at the round the
+graph describes, a message sent by ``u`` is delivered to ``v``.
+
+Following the paper, **every graph carries all self-loops**: a process always
+hears from itself ("Note that the outgoing neighbors of a set S contains S --
+that is, we assume self-loop", Def 3.1, and the product of Def 6.1 requires
+auto-loops).  The constructor silently adds them so that all graph families,
+random generators and operations stay inside the paper's graph universe.
+
+Adjacency is stored as a tuple of integer bitmasks, one *out-row* per process:
+bit ``v`` of ``out[u]`` is set iff ``(u, v)`` is an edge.  This makes the
+combinatorial numbers of the paper (domination, covering, ...) reduce to
+popcounts over subset enumerations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from functools import cached_property
+
+from .._bitops import (
+    bit,
+    bits_tuple,
+    full_mask,
+    is_subset,
+    iter_bits,
+    mask_of,
+    popcount,
+)
+from ..errors import GraphError, ProcessMismatchError
+
+__all__ = ["Digraph"]
+
+
+class Digraph:
+    """An immutable directed graph over processes ``0 .. n-1`` with self-loops.
+
+    Parameters
+    ----------
+    n:
+        Number of processes; must be positive.
+    out_rows:
+        Iterable of ``n`` bitmasks; row ``u`` holds the out-neighbours of
+        ``u``.  Self-loops are added automatically.  Alternatively use
+        :meth:`from_edges`.
+
+    Examples
+    --------
+    >>> g = Digraph.from_edges(3, [(0, 1), (1, 2)])
+    >>> sorted(g.edges())
+    [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)]
+    >>> g.out_mask(0)
+    3
+    """
+
+    __slots__ = ("_n", "_out", "_hash", "__dict__")
+
+    def __init__(self, n: int, out_rows: Iterable[int]):
+        if n <= 0:
+            raise GraphError(f"a graph needs at least one process, got n={n}")
+        rows = tuple(out_rows)
+        if len(rows) != n:
+            raise GraphError(f"expected {n} out-rows, got {len(rows)}")
+        universe = full_mask(n)
+        fixed = []
+        for u, row in enumerate(rows):
+            if row < 0 or not is_subset(row, universe):
+                raise GraphError(
+                    f"out-row of process {u} ({row:#x}) leaves the universe of {n} processes"
+                )
+            fixed.append(row | bit(u))
+        self._n = n
+        self._out = tuple(fixed)
+        self._hash = hash((n, self._out))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Digraph":
+        """Build a graph from an edge list (self-loops added automatically)."""
+        rows = [0] * n
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+            rows[u] |= bit(v)
+        return cls(n, rows)
+
+    @classmethod
+    def empty(cls, n: int) -> "Digraph":
+        """The graph with only self-loops (no process hears anyone else)."""
+        return cls(n, [0] * n)
+
+    @classmethod
+    def complete(cls, n: int) -> "Digraph":
+        """The clique: every process hears every process."""
+        universe = full_mask(n)
+        return cls(n, [universe] * n)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._n
+
+    @property
+    def out_rows(self) -> tuple[int, ...]:
+        """Out-neighbour bitmask of each process (row ``u`` = ``Out(u)``)."""
+        return self._out
+
+    def processes(self) -> range:
+        """Iterate over process ids."""
+        return range(self._n)
+
+    def out_mask(self, u: int) -> int:
+        """Bitmask of ``Out(u)``: processes that hear ``u`` (incl. ``u``)."""
+        return self._out[u]
+
+    @cached_property
+    def _in(self) -> tuple[int, ...]:
+        rows = [0] * self._n
+        for u, out in enumerate(self._out):
+            for v in iter_bits(out):
+                rows[v] |= bit(u)
+        return tuple(rows)
+
+    def in_mask(self, v: int) -> int:
+        """Bitmask of ``In(v)``: processes ``v`` hears from (incl. ``v``)."""
+        return self._in[v]
+
+    def out_neighbors(self, u: int) -> tuple[int, ...]:
+        """Sorted tuple of processes hearing ``u``."""
+        return bits_tuple(self._out[u])
+
+    def in_neighbors(self, v: int) -> tuple[int, ...]:
+        """Sorted tuple of processes heard by ``v``."""
+        return bits_tuple(self._in[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True iff ``(u, v)`` is an edge (messages from u reach v)."""
+        return bool(self._out[u] >> v & 1)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all edges, self-loops included."""
+        for u, row in enumerate(self._out):
+            for v in iter_bits(row):
+                yield (u, v)
+
+    def proper_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over non-loop edges."""
+        for u, v in self.edges():
+            if u != v:
+                yield (u, v)
+
+    @cached_property
+    def edge_count(self) -> int:
+        """Total number of edges, self-loops included."""
+        return sum(popcount(row) for row in self._out)
+
+    @property
+    def proper_edge_count(self) -> int:
+        """Number of non-loop edges."""
+        return self.edge_count - self._n
+
+    # ------------------------------------------------------------------
+    # Set-wise neighbourhoods (the primitives behind all paper numbers)
+    # ------------------------------------------------------------------
+    def out_of_set(self, members: int) -> int:
+        """Bitmask of processes hearing at least one member of ``members``.
+
+        This is the paper's ``Out_G(P)`` — it always contains ``P`` itself
+        because of self-loops.
+        """
+        heard = 0
+        for u in iter_bits(members):
+            heard |= self._out[u]
+        return heard
+
+    def in_of_set(self, members: int) -> int:
+        """Bitmask of processes heard by at least one member of ``members``."""
+        sources = 0
+        for v in iter_bits(members):
+            sources |= self._in[v]
+        return sources
+
+    def dominates(self, members: int) -> bool:
+        """Return True iff the process set ``members`` dominates the graph."""
+        return self.out_of_set(members) == full_mask(self._n)
+
+    # ------------------------------------------------------------------
+    # Structural relations
+    # ------------------------------------------------------------------
+    def is_subgraph_of(self, other: "Digraph") -> bool:
+        """Return True iff this graph's edges are all edges of ``other``."""
+        self._check_same_processes(other)
+        return all(is_subset(a, b) for a, b in zip(self._out, other._out))
+
+    def contains(self, other: "Digraph") -> bool:
+        """Return True iff ``other`` is a subgraph of this graph."""
+        return other.is_subgraph_of(self)
+
+    def _check_same_processes(self, other: "Digraph") -> None:
+        if self._n != other._n:
+            raise ProcessMismatchError(
+                f"graphs over different process counts: {self._n} vs {other._n}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def with_edges(self, edges: Iterable[tuple[int, int]]) -> "Digraph":
+        """Return a copy with the given extra edges."""
+        rows = list(self._out)
+        for u, v in edges:
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={self._n}")
+            rows[u] |= bit(v)
+        return Digraph(self._n, rows)
+
+    def without_edges(self, edges: Iterable[tuple[int, int]]) -> "Digraph":
+        """Return a copy lacking the given edges (self-loops are kept)."""
+        rows = list(self._out)
+        for u, v in edges:
+            if u == v:
+                continue  # self-loops are part of the model and cannot go
+            rows[u] &= ~bit(v)
+        return Digraph(self._n, rows)
+
+    def reverse(self) -> "Digraph":
+        """Return the graph with every edge reversed."""
+        return Digraph(self._n, self._in)
+
+    def permute(self, perm: Iterable[int]) -> "Digraph":
+        """Relabel processes: ``perm[i]`` is the new name of process ``i``.
+
+        This realises the paper's symmetric-model permutations (Def 2.4):
+        ``(u, v)`` is an edge of the result iff ``(perm^-1(u), perm^-1(v))``
+        is an edge of ``self``.
+        """
+        p = tuple(perm)
+        if sorted(p) != list(range(self._n)):
+            raise GraphError(f"{p!r} is not a permutation of 0..{self._n - 1}")
+        rows = [0] * self._n
+        for u, row in enumerate(self._out):
+            new_row = 0
+            for v in iter_bits(row):
+                new_row |= bit(p[v])
+            rows[p[u]] = new_row
+        return Digraph(self._n, rows)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return self._n == other._n and self._out == other._out
+
+    def __lt__(self, other: "Digraph") -> bool:
+        """Arbitrary-but-stable total order, used for canonical sorting."""
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return (self._n, self._out) < (other._n, other._out)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        edges = sorted(self.proper_edges())
+        return f"Digraph(n={self._n}, edges={edges})"
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` (self-loops included)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self.processes())
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g) -> "Digraph":
+        """Import from a networkx digraph with integer nodes ``0..n-1``."""
+        n = g.number_of_nodes()
+        if sorted(g.nodes()) != list(range(n)):
+            raise GraphError("networkx graph nodes must be exactly 0..n-1")
+        return cls.from_edges(n, g.edges())

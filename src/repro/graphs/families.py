@@ -1,0 +1,224 @@
+"""Named graph families used throughout the paper and its examples.
+
+All families return :class:`~repro.graphs.digraph.Digraph` instances with the
+implicit self-loops of the paper's model.  Directions follow the message
+convention: edge ``(u, v)`` means *v hears u*.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .._bitops import bit, full_mask, mask_of
+from ..errors import GraphError
+from .digraph import Digraph
+
+__all__ = [
+    "empty_graph",
+    "complete_graph",
+    "star",
+    "union_of_stars",
+    "inward_star",
+    "cycle",
+    "bidirectional_cycle",
+    "path",
+    "bidirectional_path",
+    "out_tree",
+    "in_tree",
+    "wheel",
+    "complete_bipartite",
+    "tournament",
+    "rotating_tournament",
+    "kernel_graph",
+    "figure1_star",
+    "figure1_second",
+    "figure2_graph",
+]
+
+
+def empty_graph(n: int) -> Digraph:
+    """Only self-loops: nobody hears anybody else."""
+    return Digraph.empty(n)
+
+
+def complete_graph(n: int) -> Digraph:
+    """The clique on ``n`` processes."""
+    return Digraph.complete(n)
+
+
+def star(n: int, center: int = 0) -> Digraph:
+    """A broadcast star: ``center`` is heard by everyone.
+
+    This is the paper's star graph (Def 6.12 with a single centre): the
+    centre's value floods the system, so ``γ(star) = 1``.
+    """
+    _check_member(n, center)
+    rows = [0] * n
+    rows[center] = full_mask(n)
+    return Digraph(n, rows)
+
+
+def union_of_stars(n: int, centers: Iterable[int]) -> Digraph:
+    """Union of broadcast stars with the given (distinct) centres (Def 6.12)."""
+    centers = tuple(centers)
+    if len(set(centers)) != len(centers):
+        raise GraphError(f"star centres must be distinct, got {centers!r}")
+    if not centers:
+        raise GraphError("at least one star centre is required")
+    rows = [0] * n
+    for c in centers:
+        _check_member(n, c)
+        rows[c] = full_mask(n)
+    return Digraph(n, rows)
+
+
+def inward_star(n: int, center: int = 0) -> Digraph:
+    """A gather star: ``center`` hears everyone (reverse of :func:`star`)."""
+    _check_member(n, center)
+    rows = [bit(center) for _ in range(n)]
+    return Digraph(n, rows)
+
+
+def cycle(n: int) -> Digraph:
+    """The directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` (Sec 6.1 example)."""
+    if n < 2:
+        raise GraphError(f"a cycle needs at least 2 processes, got {n}")
+    return Digraph.from_edges(n, [(u, (u + 1) % n) for u in range(n)])
+
+
+def bidirectional_cycle(n: int) -> Digraph:
+    """The ring where each process hears both neighbours."""
+    if n < 2:
+        raise GraphError(f"a ring needs at least 2 processes, got {n}")
+    edges = [(u, (u + 1) % n) for u in range(n)]
+    edges += [((u + 1) % n, u) for u in range(n)]
+    return Digraph.from_edges(n, edges)
+
+
+def path(n: int) -> Digraph:
+    """The directed path ``0 -> 1 -> ... -> n-1``."""
+    return Digraph.from_edges(n, [(u, u + 1) for u in range(n - 1)])
+
+
+def bidirectional_path(n: int) -> Digraph:
+    """The path with edges in both directions."""
+    edges = [(u, u + 1) for u in range(n - 1)]
+    edges += [(u + 1, u) for u in range(n - 1)]
+    return Digraph.from_edges(n, edges)
+
+
+def out_tree(n: int, branching: int = 2) -> Digraph:
+    """A complete ``branching``-ary out-tree rooted at process 0.
+
+    Messages flow from the root towards the leaves (node ``u`` is heard by its
+    children ``branching*u + 1 .. branching*u + branching``).
+    """
+    if branching < 1:
+        raise GraphError(f"branching factor must be >= 1, got {branching}")
+    edges = []
+    for u in range(n):
+        for j in range(1, branching + 1):
+            child = branching * u + j
+            if child < n:
+                edges.append((u, child))
+    return Digraph.from_edges(n, edges)
+
+
+def in_tree(n: int, branching: int = 2) -> Digraph:
+    """The reverse of :func:`out_tree`: leaves feed towards the root."""
+    return out_tree(n, branching).reverse()
+
+
+def wheel(n: int) -> Digraph:
+    """Process 0 broadcasts, the others form a directed cycle ``1..n-1``."""
+    if n < 3:
+        raise GraphError(f"a wheel needs at least 3 processes, got {n}")
+    g = star(n, 0)
+    rim = [(u, u % (n - 1) + 1) for u in range(1, n)]
+    return g.with_edges(rim)
+
+
+def complete_bipartite(left: Sequence[int], right: Sequence[int]) -> Digraph:
+    """Every member of ``left`` is heard by every member of ``right``.
+
+    The process universe is ``0 .. max(left+right)``; the two sides must be
+    disjoint.  This is the directed analogue of Fig 3a.
+    """
+    left = tuple(left)
+    right = tuple(right)
+    if set(left) & set(right):
+        raise GraphError("bipartition sides must be disjoint")
+    if not left or not right:
+        raise GraphError("both sides of the bipartition must be non-empty")
+    n = max((*left, *right)) + 1
+    right_mask = mask_of(right)
+    rows = [0] * n
+    for u in left:
+        rows[u] = right_mask
+    return Digraph(n, rows)
+
+
+def tournament(n: int) -> Digraph:
+    """A fixed tournament: for ``u < v`` the edge ``(u, v)`` is present.
+
+    Tournaments generate the model Afek & Gafni showed equivalent to wait-free
+    read-write shared memory (Sec 2.1).
+    """
+    return Digraph.from_edges(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def rotating_tournament(n: int, shift: int = 1) -> Digraph:
+    """A regular tournament (odd ``n``): ``u`` beats ``u+1 .. u+(n-1)/2``."""
+    if n % 2 == 0:
+        raise GraphError(f"a regular rotating tournament needs odd n, got {n}")
+    half = (n - 1) // 2
+    edges = [
+        (u, (u + shift * j) % n) for u in range(n) for j in range(1, half + 1)
+    ]
+    return Digraph.from_edges(n, edges)
+
+
+def kernel_graph(n: int, broadcasters: Iterable[int]) -> Digraph:
+    """A graph whose kernel is exactly ``broadcasters`` (each one broadcasts).
+
+    Together with closure-above this generates the *non-empty kernel*
+    Heard-Of predicate of Charron-Bost et al. (Sec 2.1).
+    """
+    return union_of_stars(n, broadcasters)
+
+
+# ----------------------------------------------------------------------
+# The concrete graphs appearing in the paper's figures
+# ----------------------------------------------------------------------
+
+def figure1_star() -> Digraph:
+    """Left graph of Fig 1: the broadcast star on 4 processes (centre p1=0)."""
+    return star(4, 0)
+
+
+def figure1_second() -> Digraph:
+    """Right graph of Fig 1: a broadcaster plus a directed triangle.
+
+    The paper computes ``cov_2(S) = 3`` and ``γ_eq(S) = 4`` for the symmetric
+    model generated by this graph, making the covering-number upper bound
+    (3-set agreement, via ``i=2``) strictly better than the equal-domination
+    bound (4-set).  The wheel on 4 processes — process 0 broadcasts while
+    1→2→3→1 form a directed cycle — realises exactly these numbers: every
+    2-set reaches at least 3 processes, while the 3-set {1,2,3} misses the
+    broadcaster (whose only in-edge is its self-loop), so ``γ_eq = 4 = n``.
+    """
+    return wheel(4)
+
+
+def figure2_graph() -> Digraph:
+    """The 3-process graph of Fig 2.
+
+    Views in the figure: p1 hears {p1, p3}, p2 hears {p1, p2}, p3 hears {p3}.
+    Hence edges (3 hears nobody else): p3→p1, p1→p2.
+    """
+    return Digraph.from_edges(3, [(2, 0), (0, 1)])
+
+
+def _check_member(n: int, p: int) -> None:
+    if not 0 <= p < n:
+        raise GraphError(f"process {p} out of range for n={n}")

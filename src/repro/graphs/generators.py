@@ -1,0 +1,96 @@
+"""Random graph generators for stress tests, property tests and benchmarks.
+
+All generators take an explicit :class:`random.Random` instance — no hidden
+global state — and return paper-conformant graphs (self-loops present).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from .._bitops import bit
+from ..errors import GraphError
+from .digraph import Digraph
+from .families import union_of_stars
+
+__all__ = [
+    "random_digraph",
+    "random_spanning_star_graph",
+    "random_union_of_stars",
+    "random_tournament",
+    "random_graph_set",
+    "iter_all_digraphs",
+]
+
+
+def random_digraph(n: int, rng: random.Random, edge_probability: float = 0.5) -> Digraph:
+    """Erdős–Rényi digraph: each non-loop edge present independently."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rows = [0] * n
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < edge_probability:
+                rows[u] |= bit(v)
+    return Digraph(n, rows)
+
+
+def random_spanning_star_graph(
+    n: int, rng: random.Random, edge_probability: float = 0.25
+) -> Digraph:
+    """A random graph guaranteed to contain a spanning (broadcast) star."""
+    center = rng.randrange(n)
+    base = random_digraph(n, rng, edge_probability)
+    return base.with_edges((center, v) for v in range(n))
+
+
+def random_union_of_stars(n: int, s: int, rng: random.Random) -> Digraph:
+    """Union of ``s`` broadcast stars with distinct random centres (Def 6.12)."""
+    if not 1 <= s <= n:
+        raise GraphError(f"need 1 <= s <= n, got s={s}, n={n}")
+    centers = rng.sample(range(n), s)
+    return union_of_stars(n, centers)
+
+
+def random_tournament(n: int, rng: random.Random) -> Digraph:
+    """Uniformly random tournament: each pair oriented by a coin flip."""
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            edges.append((u, v) if rng.random() < 0.5 else (v, u))
+    return Digraph.from_edges(n, edges)
+
+
+def random_graph_set(
+    n: int,
+    count: int,
+    rng: random.Random,
+    edge_probability: float = 0.4,
+) -> frozenset[Digraph]:
+    """A set of ``count`` distinct random graphs (model generators)."""
+    if count < 1:
+        raise GraphError(f"need count >= 1, got {count}")
+    graphs: set[Digraph] = set()
+    attempts = 0
+    while len(graphs) < count:
+        graphs.add(random_digraph(n, rng, edge_probability))
+        attempts += 1
+        if attempts > 100 * count:
+            raise GraphError(
+                f"could not draw {count} distinct graphs on n={n}; "
+                "the space is too small"
+            )
+    return frozenset(graphs)
+
+
+def iter_all_digraphs(n: int) -> Iterator[Digraph]:
+    """Every digraph on ``n`` processes — ``2**(n(n-1))`` of them.
+
+    Only sensible for ``n <= 3`` (64 graphs) or ``n = 4`` (4096 graphs);
+    used by the exhaustive solvability experiments.
+    """
+    slots = [(u, v) for u in range(n) for v in range(n) if u != v]
+    for code in range(1 << len(slots)):
+        edges = [slots[i] for i in range(len(slots)) if code >> i & 1]
+        yield Digraph.from_edges(n, edges)

@@ -1,0 +1,100 @@
+"""Distance metrics on communication graphs.
+
+Distances here follow the message direction: ``dist(u, v)`` is the number
+of rounds of the fixed graph ``G`` needed for ``u``'s value to reach ``v``
+(0 for ``u = v``, thanks to self-loops it is also the path length in the
+ordinary sense).  These quantities connect to the paper's multi-round
+machinery:
+
+* the **eccentricity** of ``u`` bounds when everyone has heard ``u``;
+* the **radius** is the best achievable single-source flooding time, a
+  lower bound companion to the covering-sequence rounds of Thm 6.7;
+* the **diameter** is the number of rounds after which ``G^r`` is the
+  clique (for strongly connected ``G``), i.e. FloodMin reaches consensus.
+"""
+
+from __future__ import annotations
+
+from .._bitops import full_mask, iter_bits
+from ..errors import GraphError
+from .digraph import Digraph
+
+__all__ = [
+    "distances_from",
+    "distance",
+    "eccentricity",
+    "radius",
+    "diameter",
+    "flooding_rounds",
+]
+
+
+def distances_from(g: Digraph, source: int) -> list[int | None]:
+    """BFS distances from ``source`` along message direction.
+
+    ``result[v]`` is the least ``r`` with ``v ∈ Out_{G^r}(source)``
+    (``0`` for the source itself); ``None`` when ``v`` never hears
+    ``source``.
+    """
+    _check_member(g, source)
+    result: list[int | None] = [None] * g.n
+    reached = 1 << source
+    frontier = reached
+    level = 0
+    result[source] = 0
+    while frontier:
+        new = 0
+        for u in iter_bits(frontier):
+            new |= g.out_mask(u)
+        new &= ~reached
+        level += 1
+        for v in iter_bits(new):
+            result[v] = level
+        reached |= new
+        frontier = new
+    return result
+
+
+def distance(g: Digraph, source: int, target: int) -> int | None:
+    """Rounds for ``source``'s value to reach ``target`` (None if never)."""
+    _check_member(g, target)
+    return distances_from(g, source)[target]
+
+
+def eccentricity(g: Digraph, source: int) -> int | None:
+    """Rounds until *everyone* heard ``source`` (None if unreachable)."""
+    dists = distances_from(g, source)
+    if any(d is None for d in dists):
+        return None
+    return max(d for d in dists if d is not None)
+
+
+def radius(g: Digraph) -> int | None:
+    """Minimum eccentricity: the best single broadcaster's flooding time."""
+    eccs = [eccentricity(g, u) for u in g.processes()]
+    finite = [e for e in eccs if e is not None]
+    return min(finite) if finite else None
+
+
+def diameter(g: Digraph) -> int | None:
+    """Maximum eccentricity; ``G^diameter`` is the clique when finite."""
+    eccs = [eccentricity(g, u) for u in g.processes()]
+    if any(e is None for e in eccs):
+        return None
+    return max(e for e in eccs if e is not None)
+
+
+def flooding_rounds(g: Digraph) -> int | None:
+    """Rounds of fixed ``G`` until every process heard every process.
+
+    Equals :func:`diameter`; exposed under the operational name because it
+    is the exact round count after which FloodMin solves consensus on the
+    *fixed-graph* model ``{G}^ω`` (and an upper bound for ``↑G`` since
+    extra edges only help).
+    """
+    return diameter(g)
+
+
+def _check_member(g: Digraph, p: int) -> None:
+    if not 0 <= p < g.n:
+        raise GraphError(f"process {p} out of range for n={g.n}")

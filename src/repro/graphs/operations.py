@@ -1,0 +1,123 @@
+"""Graph operations: union, intersection, the paper's path product, powers.
+
+The central operation is the *graph path product* (Def 6.1): ``(u, v)`` is an
+edge of ``G ⊗ H`` iff there is a ``w`` with ``(u, w) ∈ G`` and ``(w, v) ∈ H``.
+Because all graphs carry self-loops the product is monotone (more edges in
+either factor can only add edges to the product) and ``G ⊗ H`` contains both
+``G`` and ``H`` — messages can always idle one round at their source or
+destination.  ``G^r`` captures who hears whom after ``r`` rounds of ``G``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from itertools import product as cartesian_product
+
+from .._bitops import iter_bits
+from ..errors import GraphError
+from .digraph import Digraph
+
+__all__ = [
+    "union",
+    "intersection",
+    "path_product",
+    "graph_power",
+    "set_product",
+    "set_power",
+    "transitive_closure",
+]
+
+
+def union(*graphs: Digraph) -> Digraph:
+    """Edge-wise union of graphs over the same processes."""
+    first = _check_family(graphs)
+    rows = [0] * first.n
+    for g in graphs:
+        for u, row in enumerate(g.out_rows):
+            rows[u] |= row
+    return Digraph(first.n, rows)
+
+
+def intersection(*graphs: Digraph) -> Digraph:
+    """Edge-wise intersection (self-loops always survive)."""
+    first = _check_family(graphs)
+    rows = list(first.out_rows)
+    for g in graphs[1:]:
+        rows = [a & b for a, b in zip(rows, g.out_rows)]
+    return Digraph(first.n, rows)
+
+
+def path_product(g: Digraph, h: Digraph) -> Digraph:
+    """The paper's graph path product ``G ⊗ H`` (Def 6.1).
+
+    ``(u, v)`` is an edge iff some relay ``w`` satisfies ``(u, w) ∈ G`` and
+    ``(w, v) ∈ H``; i.e. information flowing along ``G`` in round 1 and ``H``
+    in round 2 travels exactly the edges of ``G ⊗ H``.
+    """
+    if g.n != h.n:
+        raise GraphError(f"product of graphs over {g.n} vs {h.n} processes")
+    rows = [0] * g.n
+    for u in range(g.n):
+        acc = 0
+        for w in iter_bits(g.out_mask(u)):
+            acc |= h.out_mask(w)
+        rows[u] = acc
+    return Digraph(g.n, rows)
+
+
+def graph_power(g: Digraph, r: int) -> Digraph:
+    """``G^r``: the ``r``-fold path product of ``G`` with itself (``r >= 1``)."""
+    if r < 1:
+        raise GraphError(f"graph power needs r >= 1, got {r}")
+    result = g
+    for _ in range(r - 1):
+        result = path_product(result, g)
+    return result
+
+
+def set_product(s: Iterable[Digraph], t: Iterable[Digraph]) -> frozenset[Digraph]:
+    """All pairwise products ``{G ⊗ H | G ∈ S, H ∈ T}``."""
+    s = tuple(s)
+    t = tuple(t)
+    if not s or not t:
+        raise GraphError("set products need non-empty graph sets")
+    return frozenset(path_product(g, h) for g, h in cartesian_product(s, t))
+
+
+def set_power(s: Iterable[Digraph], r: int) -> frozenset[Digraph]:
+    """``S^r``: products of every length-``r`` word over ``S`` (Sec 6).
+
+    The result has at most ``|S|**r`` graphs, deduplicated; closed-above
+    multi-round bounds are computed from these generators.
+    """
+    generators = frozenset(s)
+    if not generators:
+        raise GraphError("set power needs a non-empty graph set")
+    if r < 1:
+        raise GraphError(f"set power needs r >= 1, got {r}")
+    result = generators
+    for _ in range(r - 1):
+        result = set_product(result, generators)
+    return result
+
+
+def transitive_closure(g: Digraph) -> Digraph:
+    """Limit of ``G^r``: who eventually hears whom if ``G`` repeats forever."""
+    current = g
+    while True:
+        nxt = path_product(current, g)
+        if nxt == current:
+            return current
+        current = nxt
+
+
+def _check_family(graphs: tuple[Digraph, ...]) -> Digraph:
+    if not graphs:
+        raise GraphError("need at least one graph")
+    first = graphs[0]
+    for g in graphs[1:]:
+        if g.n != first.n:
+            raise GraphError(
+                f"graphs over different process counts: {first.n} vs {g.n}"
+            )
+    return first

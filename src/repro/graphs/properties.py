@@ -1,0 +1,122 @@
+"""Structural graph predicates used by the paper's example models (Sec 2.1).
+
+These are the "good things that must happen at every round" behind classical
+oblivious models: a non-empty kernel (someone broadcast), the non-split
+property (every pair shares an informer), tournaments, strong connectivity.
+"""
+
+from __future__ import annotations
+
+from .._bitops import full_mask, iter_bits, popcount
+from .digraph import Digraph
+
+__all__ = [
+    "kernel",
+    "has_nonempty_kernel",
+    "is_non_split",
+    "is_tournament",
+    "is_strongly_connected",
+    "is_weakly_connected",
+    "contains_spanning_star",
+    "source_processes",
+    "sink_processes",
+    "min_out_degree",
+    "min_in_degree",
+]
+
+
+def kernel(g: Digraph) -> int:
+    """Bitmask of processes heard by everyone (the graph's kernel)."""
+    universe = full_mask(g.n)
+    mask = 0
+    for u in range(g.n):
+        if g.out_mask(u) == universe:
+            mask |= 1 << u
+    return mask
+
+
+def has_nonempty_kernel(g: Digraph) -> bool:
+    """True iff at least one process broadcasts (non-empty kernel predicate)."""
+    return kernel(g) != 0
+
+
+def is_non_split(g: Digraph) -> bool:
+    """True iff every pair of processes hears from a common process."""
+    for v in range(g.n):
+        for w in range(v + 1, g.n):
+            if g.in_mask(v) & g.in_mask(w) == 0:
+                return False
+    return True
+
+
+def is_tournament(g: Digraph) -> bool:
+    """True iff every pair is joined by exactly one directed (non-loop) edge."""
+    for u in range(g.n):
+        for v in range(u + 1, g.n):
+            if g.has_edge(u, v) == g.has_edge(v, u):
+                return False
+    return True
+
+
+def is_strongly_connected(g: Digraph) -> bool:
+    """True iff every process eventually hears every other (Tarjan-free BFS)."""
+    universe = full_mask(g.n)
+    for start in range(g.n):
+        reached = 1 << start
+        frontier = reached
+        while frontier:
+            new = 0
+            for u in iter_bits(frontier):
+                new |= g.out_mask(u)
+            frontier = new & ~reached
+            reached |= new
+        if reached != universe:
+            return False
+    return True
+
+
+def is_weakly_connected(g: Digraph) -> bool:
+    """True iff the underlying undirected graph is connected."""
+    sym_rows = [g.out_mask(u) | g.in_mask(u) for u in range(g.n)]
+    reached = 1
+    frontier = 1
+    while frontier:
+        new = 0
+        for u in iter_bits(frontier):
+            new |= sym_rows[u]
+        frontier = new & ~reached
+        reached |= new
+    return reached == full_mask(g.n)
+
+
+def contains_spanning_star(g: Digraph) -> bool:
+    """True iff some process is heard by everyone — alias of kernel test."""
+    return has_nonempty_kernel(g)
+
+
+def source_processes(g: Digraph) -> int:
+    """Bitmask of processes that hear nobody but themselves."""
+    mask = 0
+    for v in range(g.n):
+        if popcount(g.in_mask(v)) == 1:
+            mask |= 1 << v
+    return mask
+
+
+def sink_processes(g: Digraph) -> int:
+    """Bitmask of processes heard by nobody but themselves."""
+    mask = 0
+    for u in range(g.n):
+        if popcount(g.out_mask(u)) == 1:
+            mask |= 1 << u
+    return mask
+
+
+def min_out_degree(g: Digraph) -> int:
+    """Smallest out-degree (self-loop included)."""
+    return min(popcount(row) for row in g.out_rows)
+
+
+def min_in_degree(g: Digraph) -> int:
+    """Smallest in-degree (self-loop included)."""
+    return min(popcount(g.in_mask(v)) for v in range(g.n))

@@ -1,0 +1,71 @@
+"""Symmetric closures of graph sets (Def 2.4).
+
+A closed-above model is *symmetric* when its generator set is closed under
+process permutations: ``Sym(S) = {π(G) | G ∈ S, π a permutation of Π}``.
+Symmetric models capture safety properties that do not care about identities
+("there is a ring", not "this ring").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from itertools import permutations
+
+from ..errors import GraphError
+from .digraph import Digraph
+
+__all__ = [
+    "symmetric_closure",
+    "orbit",
+    "canonical_form",
+    "is_symmetric",
+    "iter_isomorphism_classes",
+]
+
+
+def orbit(g: Digraph) -> frozenset[Digraph]:
+    """All relabellings ``{π(G)}`` of a graph (its isomorphism orbit).
+
+    Exhaustive over the ``n!`` permutations; intended for the small process
+    counts the paper's examples use (``n ≤ 8`` is comfortable).
+    """
+    return frozenset(g.permute(p) for p in permutations(range(g.n)))
+
+
+def symmetric_closure(graphs: Iterable[Digraph]) -> frozenset[Digraph]:
+    """``Sym(S)``: union of the orbits of every generator (Def 2.4)."""
+    graphs = tuple(graphs)
+    if not graphs:
+        raise GraphError("need at least one generator")
+    n = graphs[0].n
+    if any(g.n != n for g in graphs):
+        raise GraphError("all generators must share the same process count")
+    closed: set[Digraph] = set()
+    for g in graphs:
+        closed.update(orbit(g))
+    return frozenset(closed)
+
+
+def is_symmetric(graphs: Iterable[Digraph]) -> bool:
+    """Return True iff the set equals its symmetric closure."""
+    graphs = frozenset(graphs)
+    return graphs == symmetric_closure(graphs)
+
+
+def canonical_form(g: Digraph) -> Digraph:
+    """A canonical representative of the isomorphism orbit of ``g``.
+
+    Defined as the ⊑-least relabelling under the stable Digraph order; two
+    graphs are isomorphic iff their canonical forms are equal.
+    """
+    return min(orbit(g))
+
+
+def iter_isomorphism_classes(graphs: Iterable[Digraph]) -> Iterator[Digraph]:
+    """Yield one canonical representative per isomorphism class."""
+    seen: set[Digraph] = set()
+    for g in graphs:
+        canon = canonical_form(g)
+        if canon not in seen:
+            seen.add(canon)
+            yield canon

@@ -1,0 +1,53 @@
+"""Round-based communication models (Sec 2) and multi-round products (Sec 6)."""
+
+from .adversary import (
+    Adversary,
+    FixedSequenceAdversary,
+    MinimalGraphAdversary,
+    RandomAdversary,
+)
+from .closed_above import (
+    ClosedAboveModel,
+    simple_closed_above,
+    symmetric_closed_above,
+)
+from .communication import (
+    CommunicationModel,
+    ExplicitObliviousModel,
+    ObliviousModel,
+)
+from .heard_of import (
+    NonSplitModel,
+    TournamentModel,
+    nonempty_kernel_model,
+    tournament_closed_above,
+)
+from .products import (
+    closure_product_gap,
+    is_realisable_product,
+    product_model,
+    round_product_generators,
+    single_edge_realisable,
+)
+
+__all__ = [
+    "Adversary",
+    "FixedSequenceAdversary",
+    "MinimalGraphAdversary",
+    "RandomAdversary",
+    "ClosedAboveModel",
+    "simple_closed_above",
+    "symmetric_closed_above",
+    "CommunicationModel",
+    "ExplicitObliviousModel",
+    "ObliviousModel",
+    "NonSplitModel",
+    "TournamentModel",
+    "nonempty_kernel_model",
+    "tournament_closed_above",
+    "closure_product_gap",
+    "is_realisable_product",
+    "product_model",
+    "round_product_generators",
+    "single_edge_realisable",
+]

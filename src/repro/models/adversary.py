@@ -1,0 +1,84 @@
+"""Round adversaries: strategies for picking the graph of each round.
+
+The execution engine (:mod:`repro.agreement.execution`) is parameterised by
+an adversary so the same algorithm can be run against random executions,
+fixed scripted executions, or the stingiest (generator-only) choices a
+closed-above adversary can make.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from ..errors import ModelError
+from ..graphs.digraph import Digraph
+from .closed_above import ClosedAboveModel
+from .communication import CommunicationModel
+
+__all__ = [
+    "Adversary",
+    "FixedSequenceAdversary",
+    "RandomAdversary",
+    "MinimalGraphAdversary",
+]
+
+
+class Adversary(ABC):
+    """Chooses the communication graph of every round."""
+
+    @abstractmethod
+    def graph_for_round(self, round_index: int) -> Digraph:
+        """The graph delivered at the (0-based) round."""
+
+
+class FixedSequenceAdversary(Adversary):
+    """Plays a scripted sequence of graphs; repeats the last one if asked on.
+
+    Validates the script against a model when one is given.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[Digraph],
+        model: CommunicationModel | None = None,
+    ):
+        graphs = tuple(graphs)
+        if not graphs:
+            raise ModelError("a scripted adversary needs at least one graph")
+        if model is not None and not model.admits_sequence(graphs):
+            raise ModelError("scripted sequence is not allowed by the model")
+        self._graphs = graphs
+
+    def graph_for_round(self, round_index: int) -> Digraph:
+        if round_index < len(self._graphs):
+            return self._graphs[round_index]
+        return self._graphs[-1]
+
+
+class RandomAdversary(Adversary):
+    """Samples each round independently from the model."""
+
+    def __init__(self, model: CommunicationModel, rng: random.Random):
+        self._model = model
+        self._rng = rng
+
+    def graph_for_round(self, round_index: int) -> Digraph:
+        return self._model.sample_round(round_index, self._rng)
+
+
+class MinimalGraphAdversary(Adversary):
+    """Always plays a generator of a closed-above model (stingiest choice).
+
+    Extra messages only help oblivious min-based algorithms, so restricting
+    to generators realises the worst case for the algorithms of Sec 3/6;
+    the verification harness quantifies over all generator sequences.
+    """
+
+    def __init__(self, model: ClosedAboveModel, rng: random.Random):
+        self._model = model
+        self._rng = rng
+
+    def graph_for_round(self, round_index: int) -> Digraph:
+        return self._model.sample_minimal_graph(self._rng)

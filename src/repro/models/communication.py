@@ -1,0 +1,110 @@
+"""Communication models (Defs 2.1, 2.2).
+
+A communication model is a set of infinite sequences of communication graphs
+(Def 2.1).  *Oblivious* models (Def 2.2) are products ``S^ω`` of a fixed set
+of allowed graphs — the round adversary picks any allowed graph each round,
+independently of history.
+
+Infinite objects are represented intensionally: a model knows how to test
+membership of a graph (per round), enumerate allowed graphs when finite and
+small, and sample rounds for simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+
+from ..errors import ModelError
+from ..graphs.digraph import Digraph
+
+__all__ = ["CommunicationModel", "ObliviousModel", "ExplicitObliviousModel"]
+
+
+class CommunicationModel(ABC):
+    """Abstract round-based communication model over ``n`` processes."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ModelError(f"a model needs at least one process, got n={n}")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._n
+
+    @abstractmethod
+    def allows(self, graph: Digraph, round_index: int) -> bool:
+        """May ``graph`` occur at the given (0-based) round?"""
+
+    @abstractmethod
+    def sample_round(self, round_index: int, rng: random.Random) -> Digraph:
+        """Draw an allowed graph for the given round."""
+
+    def sample_execution(self, rounds: int, rng: random.Random) -> list[Digraph]:
+        """Draw a prefix of an execution: one graph per round."""
+        if rounds < 0:
+            raise ModelError(f"rounds must be non-negative, got {rounds}")
+        return [self.sample_round(r, rng) for r in range(rounds)]
+
+    def admits_sequence(self, graphs: Iterable[Digraph]) -> bool:
+        """True iff the finite sequence is a prefix of some execution."""
+        return all(self.allows(g, r) for r, g in enumerate(graphs))
+
+
+class ObliviousModel(CommunicationModel):
+    """A model whose constraint is the same at every round (Def 2.2)."""
+
+    def allows(self, graph: Digraph, round_index: int) -> bool:
+        return self.allows_graph(graph)
+
+    @abstractmethod
+    def allows_graph(self, graph: Digraph) -> bool:
+        """Round-independent membership test."""
+
+    @abstractmethod
+    def sample_graph(self, rng: random.Random) -> Digraph:
+        """Draw an allowed graph."""
+
+    def sample_round(self, round_index: int, rng: random.Random) -> Digraph:
+        return self.sample_graph(rng)
+
+
+class ExplicitObliviousModel(ObliviousModel):
+    """An oblivious model given by an explicit finite set of allowed graphs.
+
+    This is ``Com = S^ω`` with ``S`` finite and materialised — suitable for
+    exhaustive verification.  Closed-above models use the lazier
+    :class:`~repro.models.closed_above.ClosedAboveModel` instead.
+    """
+
+    def __init__(self, graphs: Iterable[Digraph]):
+        graphs = frozenset(graphs)
+        if not graphs:
+            raise ModelError("an oblivious model needs at least one graph")
+        n = next(iter(graphs)).n
+        if any(g.n != n for g in graphs):
+            raise ModelError("all graphs must share the same process count")
+        super().__init__(n)
+        self._graphs = graphs
+        self._ordered = sorted(graphs)
+
+    @property
+    def graphs(self) -> frozenset[Digraph]:
+        """The allowed graphs ``S``."""
+        return self._graphs
+
+    def allows_graph(self, graph: Digraph) -> bool:
+        return graph in self._graphs
+
+    def sample_graph(self, rng: random.Random) -> Digraph:
+        return rng.choice(self._ordered)
+
+    def iter_graphs(self) -> Iterator[Digraph]:
+        """Deterministic iteration over the allowed graphs."""
+        return iter(self._ordered)
+
+    def __repr__(self) -> str:
+        return f"ExplicitObliviousModel(n={self.n}, graphs={len(self._graphs)})"

@@ -1,0 +1,92 @@
+"""Combinatorial topology toolkit (Sec 4 of the paper).
+
+Simplexes and complexes (Defs 4.1/4.2), pseudospheres (Def 4.5, Lemmas
+4.6/4.7), homology-based connectivity measurement, nerves (Def 4.10, Lemma
+4.11), shellability (Sec 4.4), uninterpreted complexes of graphs and models
+(Defs 4.3/4.4, Lemma 4.8) and their interpretation over inputs (Defs
+4.13/4.14) — the one-round protocol complexes of oblivious algorithms.
+"""
+
+from .complexes import SimplicialComplex
+from .connectivity import (
+    agreement_impossibility_threshold,
+    connectivity_of_closed_above,
+    predicted_closed_above_connectivity,
+    verify_lemma_4_8,
+)
+from .homology import (
+    betti_numbers,
+    boundary_matrix_gf2,
+    homological_connectivity,
+    is_homologically_k_connected,
+    rank_gf2,
+    reduced_betti_numbers,
+)
+from .interpretation import (
+    graph_interpretation_complex,
+    input_complex,
+    input_pseudosphere,
+    interpret_complex,
+    interpret_simplex,
+    one_round_protocol_complex,
+)
+from .nerve import (
+    is_cover,
+    nerve_complex,
+    nerve_lemma_hypothesis_holds,
+    nerve_lemma_transfer,
+)
+from .pseudosphere import Pseudosphere, predicted_connectivity, pseudosphere_complex
+from .shelling import (
+    find_shelling_order,
+    is_shellable,
+    is_shelling_order,
+    is_valid_shelling_step,
+)
+from .simplex import Simplex, Vertex, stable_key
+from .uninterpreted import (
+    closed_above_pseudosphere,
+    closed_above_pseudosphere_cover,
+    uninterpreted_complex_of_closed_above,
+    uninterpreted_complex_of_graphs,
+    uninterpreted_simplex,
+)
+
+__all__ = [
+    "SimplicialComplex",
+    "Simplex",
+    "Vertex",
+    "stable_key",
+    "Pseudosphere",
+    "predicted_connectivity",
+    "pseudosphere_complex",
+    "betti_numbers",
+    "boundary_matrix_gf2",
+    "homological_connectivity",
+    "is_homologically_k_connected",
+    "rank_gf2",
+    "reduced_betti_numbers",
+    "is_cover",
+    "nerve_complex",
+    "nerve_lemma_hypothesis_holds",
+    "nerve_lemma_transfer",
+    "find_shelling_order",
+    "is_shellable",
+    "is_shelling_order",
+    "is_valid_shelling_step",
+    "closed_above_pseudosphere",
+    "closed_above_pseudosphere_cover",
+    "uninterpreted_complex_of_closed_above",
+    "uninterpreted_complex_of_graphs",
+    "uninterpreted_simplex",
+    "graph_interpretation_complex",
+    "input_complex",
+    "input_pseudosphere",
+    "interpret_complex",
+    "interpret_simplex",
+    "one_round_protocol_complex",
+    "agreement_impossibility_threshold",
+    "connectivity_of_closed_above",
+    "predicted_closed_above_connectivity",
+    "verify_lemma_4_8",
+]

@@ -1,0 +1,219 @@
+"""Colored simplicial complexes (Def 4.2).
+
+A complex is stored by its *facets* (inclusion-maximal simplexes); all other
+simplexes are derived by downward closure on demand.  This keeps the huge
+protocol complexes of closed-above models representable: a pseudosphere on
+``n`` processes with ``v`` views each has ``v**n`` facets but astronomically
+many faces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from functools import cached_property
+
+from ..errors import TopologyError
+from .simplex import Simplex, stable_key
+
+__all__ = ["SimplicialComplex"]
+
+
+class SimplicialComplex:
+    """An immutable simplicial complex given by its facets.
+
+    >>> c = SimplicialComplex.from_simplices([Simplex([(0, 'a'), (1, 'b')])])
+    >>> c.dimension
+    1
+    >>> c.is_pure()
+    True
+    """
+
+    __slots__ = ("_facets", "_hash", "__dict__")
+
+    def __init__(self, facets: Iterable[Simplex]):
+        facets = frozenset(facets)
+        # A facet can only be dominated by a strictly larger simplex, so when
+        # all facets share a dimension (pure complexes — the common case for
+        # pseudospheres and protocol complexes) no check is needed.
+        by_dim: dict[int, list[Simplex]] = {}
+        for f in facets:
+            by_dim.setdefault(f.dimension, []).append(f)
+        if len(by_dim) > 1:
+            dims = sorted(by_dim)
+            for d in dims[:-1]:
+                larger = [g for e in dims if e > d for g in by_dim[e]]
+                for f in by_dim[d]:
+                    if any(f.is_face_of(g) for g in larger):
+                        raise TopologyError(
+                            "facet list contains a simplex dominated by "
+                            "another; use from_simplices to normalise"
+                        )
+        self._facets = facets
+        self._hash = hash(facets)
+
+    @classmethod
+    def from_simplices(cls, simplices: Iterable[Simplex]) -> "SimplicialComplex":
+        """Build a complex from arbitrary simplexes, keeping the maximal ones."""
+        pool = set(simplices)
+        pool.discard(Simplex.empty())
+        maximal: list[Simplex] = []
+        larger: list[Simplex] = []  # strictly larger maximal simplexes only
+        current_size = None
+        for s in sorted(pool, key=lambda t: -len(t)):
+            if current_size is not None and len(s) < current_size:
+                larger = list(maximal)
+            current_size = len(s)
+            if not any(s.is_face_of(m) for m in larger):
+                maximal.append(s)
+        return cls(maximal)
+
+    @classmethod
+    def empty(cls) -> "SimplicialComplex":
+        """The empty complex (no simplexes at all)."""
+        return cls(())
+
+    # ------------------------------------------------------------------
+    @property
+    def facets(self) -> frozenset[Simplex]:
+        """The inclusion-maximal simplexes."""
+        return self._facets
+
+    def is_empty(self) -> bool:
+        """True iff the complex has no simplexes."""
+        return not self._facets
+
+    @cached_property
+    def dimension(self) -> int:
+        """Maximum facet dimension; -1 for the empty complex."""
+        if not self._facets:
+            return -1
+        return max(f.dimension for f in self._facets)
+
+    def is_pure(self) -> bool:
+        """True iff every facet has the same dimension (Def 4.2)."""
+        if not self._facets:
+            return True
+        dims = {f.dimension for f in self._facets}
+        return len(dims) == 1
+
+    @cached_property
+    def vertices(self) -> frozenset:
+        """All (color, view) vertices."""
+        verts: set = set()
+        for f in self._facets:
+            verts |= f.vertices
+        return frozenset(verts)
+
+    @cached_property
+    def colors(self) -> frozenset:
+        """All colors appearing in the complex."""
+        return frozenset(c for c, _ in self.vertices)
+
+    def simplices(self, dimension: int | None = None) -> Iterator[Simplex]:
+        """All non-empty simplexes, optionally of a fixed dimension.
+
+        Deduplicated across facets; yields in a deterministic order.
+        """
+        seen: set[Simplex] = set()
+        for f in sorted(self._facets, key=lambda s: stable_key(s.vertices)):
+            dims = range(f.dimension + 1) if dimension is None else (dimension,)
+            for d in dims:
+                for face in f.faces(d):
+                    if face not in seen:
+                        seen.add(face)
+                        yield face
+
+    def simplex_counts(self) -> tuple[int, ...]:
+        """The f-vector ``(#0-simplexes, #1-simplexes, ...)``."""
+        counts = [0] * (self.dimension + 1)
+        for s in self.simplices():
+            counts[s.dimension] += 1
+        return tuple(counts)
+
+    def euler_characteristic(self) -> int:
+        """``Σ (-1)^d f_d`` (unreduced)."""
+        return sum(
+            (-1) ** d * count for d, count in enumerate(self.simplex_counts())
+        )
+
+    def contains_simplex(self, s: Simplex) -> bool:
+        """Membership test (empty simplex belongs to any non-empty complex)."""
+        if s.dimension == -1:
+            return not self.is_empty()
+        return any(s.is_face_of(f) for f in self._facets)
+
+    # ------------------------------------------------------------------
+    def skeleton(self, k: int) -> "SimplicialComplex":
+        """The ``k``-skeleton: all simplexes of dimension at most ``k``."""
+        if k < 0:
+            return SimplicialComplex.empty()
+        pieces: set[Simplex] = set()
+        for f in self._facets:
+            if f.dimension <= k:
+                pieces.add(f)
+            else:
+                pieces.update(f.faces(k))
+        return SimplicialComplex.from_simplices(pieces)
+
+    def union(self, other: "SimplicialComplex") -> "SimplicialComplex":
+        """Union of complexes."""
+        return SimplicialComplex.from_simplices(self._facets | other._facets)
+
+    def intersection(self, other: "SimplicialComplex") -> "SimplicialComplex":
+        """Intersection of complexes (computed facet-pair-wise).
+
+        The intersection of two complexes given by facets has as simplexes
+        exactly the common faces; its facets are the maximal pairwise facet
+        intersections.
+        """
+        pieces: set[Simplex] = set()
+        for f in self._facets:
+            for g in other._facets:
+                common = f.intersection(g)
+                if len(common):
+                    pieces.add(common)
+        return SimplicialComplex.from_simplices(pieces)
+
+    def star(self, vertex) -> "SimplicialComplex":
+        """The closed star of a vertex: facets containing it."""
+        return SimplicialComplex.from_simplices(
+            f for f in self._facets if vertex in f
+        )
+
+    def link(self, vertex) -> "SimplicialComplex":
+        """The link of a vertex."""
+        pieces = [
+            Simplex(v for v in f.vertices if v != vertex)
+            for f in self._facets
+            if vertex in f
+        ]
+        return SimplicialComplex.from_simplices(p for p in pieces if len(p))
+
+    def induced_by_facets(self, facets: Iterable[Simplex]) -> "SimplicialComplex":
+        """Subcomplex generated by a subset of facets."""
+        facets = list(facets)
+        for f in facets:
+            if f not in self._facets:
+                raise TopologyError(f"{f!r} is not a facet of this complex")
+        return SimplicialComplex.from_simplices(facets)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimplicialComplex):
+            return NotImplemented
+        return self._facets == other._facets
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._facets)
+
+    def __iter__(self) -> Iterator[Simplex]:
+        return iter(sorted(self._facets, key=lambda s: stable_key(s.vertices)))
+
+    def __repr__(self) -> str:
+        return (
+            f"SimplicialComplex(dim={self.dimension}, "
+            f"facets={len(self._facets)}, vertices={len(self.vertices)})"
+        )

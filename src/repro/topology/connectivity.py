@@ -1,0 +1,118 @@
+"""High-level connectivity checks tying the paper's lemmas together.
+
+* :func:`connectivity_of_closed_above` — Thm 4.12 / Cor 4.9, computed two
+  ways: the paper's nerve-lemma route over the pseudosphere cover, and a
+  direct homology computation on the materialised complex.
+* :func:`verify_lemma_4_8` — machine check that the uninterpreted complex of
+  ``↑G`` equals the predicted pseudosphere.
+* :func:`agreement_impossibility_threshold` — the classical link between
+  protocol-complex connectivity and k-set agreement ([15, Thm 10.3.1]):
+  a ``k``-connected protocol complex forbids ``(k+1)``-set agreement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import TopologyError
+from ..graphs.digraph import Digraph
+from .complexes import SimplicialComplex
+from .homology import homological_connectivity
+from .pseudosphere import Pseudosphere
+from .uninterpreted import (
+    closed_above_pseudosphere,
+    closed_above_pseudosphere_cover,
+    uninterpreted_complex_of_closed_above,
+)
+
+__all__ = [
+    "connectivity_of_closed_above",
+    "predicted_closed_above_connectivity",
+    "verify_lemma_4_8",
+    "agreement_impossibility_threshold",
+]
+
+
+def predicted_closed_above_connectivity(generators: Iterable[Digraph]) -> int:
+    """Thm 4.12's claim: the uninterpreted complex is ``(n - 2)``-connected."""
+    generators = tuple(generators)
+    if not generators:
+        raise TopologyError("need at least one generator")
+    return generators[0].n - 2
+
+
+def connectivity_of_closed_above(
+    generators: Iterable[Digraph], method: str = "homology"
+) -> float:
+    """Measured connectivity of a closed-above model's uninterpreted complex.
+
+    ``method="homology"`` materialises the complex and computes reduced
+    Betti numbers; ``method="nerve"`` follows the paper's proof structure:
+    every pairwise-and-deeper intersection of the generator pseudospheres is
+    again a pseudosphere containing the clique view, so the nerve is a full
+    simplex and the union inherits ``min`` connectivity of the pieces
+    (Lemma 4.6 + Lemma 4.11).  The nerve route returns the *predicted* value
+    after verifying the structural facts it relies on.
+    """
+    generators = tuple(generators)
+    if method == "homology":
+        complex_ = uninterpreted_complex_of_closed_above(generators)
+        return homological_connectivity(complex_)
+    if method == "nerve":
+        cover = closed_above_pseudosphere_cover(generators)
+        _verify_nerve_structure(cover)
+        return min(ps.predicted_connectivity() for ps in cover)
+    raise TopologyError(f"unknown method {method!r}; use 'homology' or 'nerve'")
+
+
+def _verify_nerve_structure(cover: list[Pseudosphere]) -> None:
+    """Check the two facts Thm 4.12's proof uses about the cover.
+
+    (1) every intersection of cover elements is non-empty (it contains the
+    clique view), hence the nerve is a simplex; (2) each intersection is a
+    pseudosphere with every component non-empty.
+    """
+    from itertools import combinations
+
+    k = len(cover)
+    for size in range(1, k + 1):
+        for index_set in combinations(range(k), size):
+            section = cover[index_set[0]]
+            for i in index_set[1:]:
+                section = section.intersection(cover[i])
+            if section.nonempty_components() != len(section.processes):
+                raise TopologyError(
+                    "closed-above cover intersection lost a component; "
+                    "this contradicts Lemma 4.6 + the clique view argument"
+                )
+
+
+def verify_lemma_4_8(g: Digraph) -> bool:
+    """Machine check of Lemma 4.8 on a concrete graph.
+
+    Compares the pseudosphere ``φ(Π; {T ⊇ In_G(p)})`` against the complex
+    whose facets are the uninterpreted simplexes of every ``H ∈ ↑G``
+    (enumerated — keep ``n`` small).
+    """
+    from ..graphs.closure import iter_upward_closure
+    from .uninterpreted import uninterpreted_simplex
+
+    predicted = closed_above_pseudosphere(g).to_complex()
+    enumerated = SimplicialComplex.from_simplices(
+        uninterpreted_simplex(h) for h in iter_upward_closure(g)
+    )
+    return predicted == enumerated
+
+
+def agreement_impossibility_threshold(complex_: SimplicialComplex) -> float:
+    """Largest ``k`` such that ``k``-set agreement is ruled out.
+
+    By [15, Thm 10.3.1], an ``l``-connected protocol complex (for the right
+    input sphere) makes ``(l+1)``-set agreement unsolvable; this helper just
+    converts a measured connectivity into that threshold: the returned value
+    ``k`` means "``k``-set agreement and below are impossible".
+    """
+    connectivity = homological_connectivity(complex_)
+    if connectivity == -2:
+        return 0
+    return connectivity + 1

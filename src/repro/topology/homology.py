@@ -1,0 +1,214 @@
+"""Simplicial homology: boundary matrices, ranks, reduced Betti numbers.
+
+Used to *measure* the connectivity claims of the paper (Lemma 4.7, Cor 4.9,
+Thm 4.12): a complex is homologically ``k``-connected when its reduced Betti
+numbers vanish in degrees ``0..k``.  For the complexes this paper manipulates
+(pseudospheres and their unions/intersections — wedges of spheres up to
+homotopy, and shellable complexes) homological and topological connectivity
+coincide, so the machine check is faithful; see EXPERIMENTS.md for the
+caveat discussion.
+
+Two exact backends are provided and cross-checked in the tests:
+
+* GF(2) — bitmask Gaussian elimination, fast, the default;
+* rationals — fraction-free integer elimination (no floating point), slower,
+  immune to the (here absent) torsion blind spot of GF(2).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..errors import TopologyError
+from .complexes import SimplicialComplex
+from .simplex import Simplex, stable_key
+
+__all__ = [
+    "boundary_matrix_gf2",
+    "rank_gf2",
+    "betti_numbers",
+    "reduced_betti_numbers",
+    "homological_connectivity",
+    "is_homologically_k_connected",
+]
+
+
+def _indexed_simplices(complex_: SimplicialComplex) -> list[dict[Simplex, int]]:
+    """Index the ``d``-simplexes of each dimension ``0..dim``."""
+    levels: list[dict[Simplex, int]] = [
+        {} for _ in range(complex_.dimension + 1)
+    ]
+    for s in complex_.simplices():
+        level = levels[s.dimension]
+        level[s] = len(level)
+    # Re-index deterministically for reproducible matrices.
+    for d, level in enumerate(levels):
+        ordered = sorted(level, key=lambda s: stable_key(s.vertices))
+        levels[d] = {s: i for i, s in enumerate(ordered)}
+    return levels
+
+
+def boundary_matrix_gf2(
+    complex_: SimplicialComplex, dimension: int
+) -> list[int]:
+    """The GF(2) boundary map ``∂_d: C_d -> C_{d-1}`` as bitmask columns.
+
+    Column ``j`` is the bitmask (over ``(d-1)``-simplex indices) of the
+    boundary of the ``j``-th ``d``-simplex.  ``∂_0`` maps every vertex to the
+    (rank-1) augmentation, represented as bit 0 set for every vertex.
+    """
+    if dimension < 0 or dimension > complex_.dimension:
+        raise TopologyError(
+            f"dimension {dimension} out of range for a complex of "
+            f"dimension {complex_.dimension}"
+        )
+    levels = _indexed_simplices(complex_)
+    if dimension == 0:
+        return [1] * len(levels[0])
+    lower = levels[dimension - 1]
+    columns = []
+    upper = sorted(levels[dimension], key=levels[dimension].get)
+    for s in upper:
+        col = 0
+        for face in s.boundary():
+            col |= 1 << lower[face]
+        columns.append(col)
+    return columns
+
+
+def rank_gf2(columns: list[int]) -> int:
+    """Rank of a GF(2) matrix given as bitmask columns."""
+    pivots: list[int] = []
+    rank = 0
+    for col in columns:
+        for p in pivots:
+            low = p & -p
+            if col & low:
+                col ^= p
+        if col:
+            pivots.append(col)
+            rank += 1
+    return rank
+
+
+def betti_numbers(
+    complex_: SimplicialComplex, field: str = "gf2"
+) -> tuple[int, ...]:
+    """Unreduced Betti numbers ``(b_0, ..., b_dim)`` over the chosen field."""
+    if complex_.is_empty():
+        return ()
+    dim = complex_.dimension
+    counts = complex_.simplex_counts()
+    ranks = [0] * (dim + 2)  # ranks[d] = rank ∂_d for d in 1..dim
+    if field == "gf2":
+        for d in range(1, dim + 1):
+            ranks[d] = rank_gf2(boundary_matrix_gf2(complex_, d))
+    elif field == "rational":
+        for d in range(1, dim + 1):
+            ranks[d] = _rank_rational(complex_, d)
+    else:
+        raise TopologyError(f"unknown field {field!r}; use 'gf2' or 'rational'")
+    betti = []
+    for d in range(dim + 1):
+        betti.append(counts[d] - ranks[d] - ranks[d + 1])
+    return tuple(betti)
+
+
+def reduced_betti_numbers(
+    complex_: SimplicialComplex, field: str = "gf2"
+) -> tuple[int, ...]:
+    """Reduced Betti numbers: ``b̃_0 = b_0 - 1``, ``b̃_d = b_d`` for ``d ≥ 1``."""
+    betti = betti_numbers(complex_, field)
+    if not betti:
+        return ()
+    return (betti[0] - 1, *betti[1:])
+
+
+def homological_connectivity(
+    complex_: SimplicialComplex, field: str = "gf2"
+) -> float:
+    """The largest ``k`` with ``b̃_0 = ... = b̃_k = 0``.
+
+    Conventions: the empty complex returns ``-2`` (not even non-empty); a
+    disconnected complex returns ``-1`` (non-empty only); a complex whose
+    reduced homology vanishes everywhere returns ``math.inf`` (homologically
+    contractible — e.g. a cone or a single simplex).
+    """
+    import math
+
+    if complex_.is_empty():
+        return -2
+    reduced = reduced_betti_numbers(complex_, field)
+    for degree, b in enumerate(reduced):
+        if b != 0:
+            return degree - 1
+    return math.inf
+
+
+def is_homologically_k_connected(
+    complex_: SimplicialComplex, k: int, field: str = "gf2"
+) -> bool:
+    """True iff reduced homology vanishes in degrees ``0..k``.
+
+    ``k = -1`` only asks for non-emptiness, matching the paper's usage.
+    """
+    if k <= -2:
+        return True
+    if complex_.is_empty():
+        return False
+    if k == -1:
+        return True
+    return homological_connectivity(complex_, field) >= k
+
+
+# ----------------------------------------------------------------------
+# Rational backend (exact, fraction-based)
+# ----------------------------------------------------------------------
+
+def _boundary_matrix_signed(
+    complex_: SimplicialComplex, dimension: int
+) -> list[list[int]]:
+    """Signed integer boundary matrix (rows: (d-1)-simplexes, cols: d)."""
+    levels = _indexed_simplices(complex_)
+    lower = levels[dimension - 1]
+    upper = sorted(levels[dimension], key=levels[dimension].get)
+    rows = len(lower)
+    matrix = [[0] * len(upper) for _ in range(rows)]
+    for j, s in enumerate(upper):
+        ordered = sorted(s.vertices, key=stable_key)
+        for drop in range(len(ordered)):
+            face = Simplex(v for i, v in enumerate(ordered) if i != drop)
+            matrix[lower[face]][j] = (-1) ** drop
+    return matrix
+
+
+def _rank_rational(complex_: SimplicialComplex, dimension: int) -> int:
+    """Exact rank of ``∂_d`` over the rationals via Gaussian elimination."""
+    matrix = [
+        [Fraction(x) for x in row]
+        for row in _boundary_matrix_signed(complex_, dimension)
+    ]
+    if not matrix or not matrix[0]:
+        return 0
+    rows, cols = len(matrix), len(matrix[0])
+    rank = 0
+    pivot_row = 0
+    for col in range(cols):
+        pivot = next(
+            (r for r in range(pivot_row, rows) if matrix[r][col] != 0), None
+        )
+        if pivot is None:
+            continue
+        matrix[pivot_row], matrix[pivot] = matrix[pivot], matrix[pivot_row]
+        head = matrix[pivot_row][col]
+        for r in range(pivot_row + 1, rows):
+            if matrix[r][col] != 0:
+                factor = matrix[r][col] / head
+                matrix[r] = [
+                    a - factor * b for a, b in zip(matrix[r], matrix[pivot_row])
+                ]
+        rank += 1
+        pivot_row += 1
+        if pivot_row == rows:
+            break
+    return rank

@@ -1,0 +1,109 @@
+"""Interpretation of uninterpreted complexes on inputs (Defs 4.13, 4.14).
+
+An uninterpreted view (who I heard) turns into an *interpreted* oblivious
+view (which ``(process, value)`` pairs I know) once an input simplex assigns
+initial values.  The interpretation of the model's uninterpreted complex on
+an input complex is exactly the one-round protocol complex of an oblivious
+algorithm — the object Thm 5.4's connectivity argument runs on.
+
+Interpreted views are ``frozenset[(process, value)]``; the input complexes
+are pseudospheres ``Ψ(Π, values)`` (every process independently picks any
+value) or sub-complexes thereof.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+from ..errors import TopologyError
+from ..graphs.digraph import Digraph
+from .complexes import SimplicialComplex
+from .pseudosphere import Pseudosphere
+from .simplex import Simplex
+from .uninterpreted import uninterpreted_simplex
+
+__all__ = [
+    "input_pseudosphere",
+    "input_complex",
+    "interpret_simplex",
+    "interpret_complex",
+    "one_round_protocol_complex",
+    "graph_interpretation_complex",
+]
+
+
+def input_pseudosphere(n: int, values: Iterable[Hashable]) -> Pseudosphere:
+    """``Ψ(Π, V)``: every process holds any value of ``V`` independently."""
+    values = frozenset(values)
+    if not values:
+        raise TopologyError("need at least one input value")
+    return Pseudosphere.uniform(tuple(range(n)), values)
+
+
+def input_complex(n: int, values: Iterable[Hashable]) -> SimplicialComplex:
+    """Materialised input pseudosphere."""
+    return input_pseudosphere(n, values).to_complex()
+
+
+def interpret_simplex(uninterpreted: Simplex, inputs: Simplex) -> Simplex:
+    """``σ(τ)`` (Def 4.13): pair every heard process with its input value.
+
+    ``uninterpreted`` has views ``frozenset[int]`` (heard processes);
+    ``inputs`` colors every process of those views with an input value.  The
+    result colors each process with the *oblivious* view
+    ``{(q, value_q) | q heard}``.
+    """
+    vertices = []
+    for process, heard in uninterpreted.vertices:
+        if not isinstance(heard, frozenset):
+            raise TopologyError(
+                f"uninterpreted view of {process!r} must be a frozenset of "
+                f"process ids, got {heard!r}"
+            )
+        view = frozenset((q, inputs.view_of(q)) for q in heard)
+        vertices.append((process, view))
+    return Simplex(vertices)
+
+
+def interpret_complex(
+    uninterpreted: SimplicialComplex, inputs: SimplicialComplex
+) -> SimplicialComplex:
+    """``A(I)`` (Def 4.14): union of facet-by-facet interpretations."""
+    interpreted = []
+    for tau in inputs.facets:
+        for sigma in uninterpreted.facets:
+            interpreted.append(interpret_simplex(sigma, tau))
+    return SimplicialComplex.from_simplices(interpreted)
+
+
+def graph_interpretation_complex(
+    g: Digraph, inputs: SimplicialComplex
+) -> SimplicialComplex:
+    """``C_G(I)``: interpretation of a single graph on an input complex.
+
+    This is the per-graph building block ``C_G(σ)`` of the Thm 5.4 proof.
+    """
+    sigma = uninterpreted_simplex(g)
+    return SimplicialComplex.from_simplices(
+        interpret_simplex(sigma, tau) for tau in inputs.facets
+    )
+
+
+def one_round_protocol_complex(
+    graphs: Sequence[Digraph], inputs: SimplicialComplex
+) -> SimplicialComplex:
+    """One-round protocol complex of an oblivious model over given inputs.
+
+    The model is given by the explicit set of allowed graphs (for
+    closed-above models pass the generators *and* whatever supersets the
+    analysis needs, or use the pseudosphere route of
+    :mod:`repro.topology.uninterpreted` for the full ``↑S``).
+    """
+    if not graphs:
+        raise TopologyError("need at least one graph")
+    pieces = []
+    for g in graphs:
+        sigma = uninterpreted_simplex(g)
+        for tau in inputs.facets:
+            pieces.append(interpret_simplex(sigma, tau))
+    return SimplicialComplex.from_simplices(pieces)

@@ -1,0 +1,98 @@
+"""Nerve complexes of covers (Def 4.10) and the nerve lemma (Lemma 4.11).
+
+The nerve of a cover ``(C_i)`` has one vertex per cover element and a simplex
+for every index set whose elements intersect non-trivially.  The nerve lemma
+transfers connectivity between a complex and the nerve of a "nice" cover —
+the paper's main tool for computing the connectivity of unions of
+pseudospheres (Thm 4.12, Lemma 4.17).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import combinations
+
+from ..errors import TopologyError
+from .complexes import SimplicialComplex
+from .homology import is_homologically_k_connected
+from .simplex import Simplex
+
+__all__ = [
+    "nerve_complex",
+    "is_cover",
+    "nerve_lemma_hypothesis_holds",
+    "nerve_lemma_transfer",
+]
+
+
+def nerve_complex(cover: Sequence[SimplicialComplex]) -> SimplicialComplex:
+    """The nerve ``N(C_i | I)`` of a cover (Def 4.10).
+
+    Vertices are the cover indices ``0..len(cover)-1`` colored by themselves;
+    ``J`` spans a simplex iff ``⋂_{i∈J} C_i ≠ ∅``.  Computing all ``2^|I|``
+    intersections is exponential — covers here are small (one element per
+    generator graph).
+    """
+    if not cover:
+        raise TopologyError("a nerve needs a non-empty cover")
+    simplices: list[Simplex] = []
+    for size in range(1, len(cover) + 1):
+        found_at_size = False
+        for index_set in combinations(range(len(cover)), size):
+            section = cover[index_set[0]]
+            for i in index_set[1:]:
+                section = section.intersection(cover[i])
+                if section.is_empty():
+                    break
+            if not section.is_empty():
+                simplices.append(Simplex((i, i) for i in index_set))
+                found_at_size = True
+        if not found_at_size:
+            break  # larger intersections are subsets of some empty one
+    return SimplicialComplex.from_simplices(simplices)
+
+
+def is_cover(complex_: SimplicialComplex, cover: Sequence[SimplicialComplex]) -> bool:
+    """True iff the union of the cover elements equals the complex."""
+    if not cover:
+        return complex_.is_empty()
+    union = cover[0]
+    for c in cover[1:]:
+        union = union.union(c)
+    return union == complex_
+
+
+def nerve_lemma_hypothesis_holds(
+    cover: Sequence[SimplicialComplex], k: int, field: str = "gf2"
+) -> bool:
+    """Check Lemma 4.11's hypothesis (homologically).
+
+    Every non-empty intersection ``⋂_{i∈J} C_i`` must be
+    ``(k - |J| + 1)``-connected.  Connectivity is verified homologically —
+    see module docstring of :mod:`repro.topology.homology` for the caveat.
+    """
+    for size in range(1, len(cover) + 1):
+        required = k - size + 1
+        for index_set in combinations(range(len(cover)), size):
+            section = cover[index_set[0]]
+            for i in index_set[1:]:
+                section = section.intersection(cover[i])
+            if section.is_empty():
+                continue
+            if not is_homologically_k_connected(section, required, field):
+                return False
+    return True
+
+
+def nerve_lemma_transfer(
+    cover: Sequence[SimplicialComplex], k: int, field: str = "gf2"
+) -> bool | None:
+    """Apply the nerve lemma: is the union ``k``-connected?
+
+    Returns the nerve's ``k``-connectivity verdict when the hypothesis holds,
+    or None when the hypothesis fails (the lemma is silent then).
+    """
+    if not nerve_lemma_hypothesis_holds(cover, k, field):
+        return None
+    nerve = nerve_complex(cover)
+    return is_homologically_k_connected(nerve, k, field)

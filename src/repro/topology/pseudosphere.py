@@ -1,0 +1,156 @@
+"""Pseudospheres (Def 4.5) and their closure properties (Lemmas 4.6, 4.7).
+
+The pseudosphere ``φ(Π; V_1, ..., V_n)`` has a vertex ``(P_i, v)`` for every
+``v ∈ V_i`` and a simplex for every partial choice of at most one view per
+process.  Pseudospheres are the building blocks of closed-above protocol
+complexes: they are closed under intersection (component-wise, Lemma 4.6) and
+``(m - 2)``-connected where ``m`` is the number of non-empty components
+(Lemma 4.7) — topologically they are joins of discrete sets, i.e. wedges of
+``(m-1)``-spheres.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from itertools import product
+
+from ..errors import TopologyError
+from .complexes import SimplicialComplex
+from .simplex import Simplex
+
+__all__ = [
+    "Pseudosphere",
+    "pseudosphere_complex",
+    "predicted_connectivity",
+]
+
+
+class Pseudosphere:
+    """A symbolic pseudosphere: processes plus one view set per process.
+
+    Keeping pseudospheres symbolic (rather than as facet lists) makes
+    intersections (Lemma 4.6) and connectivity predictions (Lemma 4.7) free;
+    :meth:`to_complex` materialises the facets when homology is wanted.
+    """
+
+    __slots__ = ("_views",)
+
+    def __init__(self, views: Mapping[Hashable, Iterable[Hashable]]):
+        if not views:
+            raise TopologyError("a pseudosphere needs at least one process")
+        self._views: dict[Hashable, frozenset] = {
+            process: frozenset(vs) for process, vs in views.items()
+        }
+
+    @classmethod
+    def uniform(
+        cls, processes: Sequence[Hashable], values: Iterable[Hashable]
+    ) -> "Pseudosphere":
+        """``φ(Π; V, ..., V)`` — e.g. the input complex ``Ψ(Π, [0, k])``."""
+        values = frozenset(values)
+        return cls({p: values for p in processes})
+
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> tuple:
+        """The processes, in insertion order."""
+        return tuple(self._views)
+
+    def views_of(self, process) -> frozenset:
+        """The view set ``V_i`` of a process."""
+        try:
+            return self._views[process]
+        except KeyError:
+            raise TopologyError(f"unknown process {process!r}") from None
+
+    def nonempty_components(self) -> int:
+        """Number of processes with a non-empty view set (Lemma 4.7's ``n``)."""
+        return sum(1 for vs in self._views.values() if vs)
+
+    def is_void(self) -> bool:
+        """True iff every component is empty (the complex has no vertices)."""
+        return self.nonempty_components() == 0
+
+    def facet_count(self) -> int:
+        """Number of facets of the materialised complex."""
+        count = 1
+        for vs in self._views.values():
+            if vs:
+                count *= len(vs)
+        return count if self.nonempty_components() else 0
+
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Pseudosphere") -> "Pseudosphere":
+        """Component-wise intersection (Lemma 4.6).
+
+        ``φ(Π; U_i) ∩ φ(Π; V_i) = φ(Π; U_i ∩ V_i)``; both sides must be over
+        the same process set.
+        """
+        if set(self._views) != set(other._views):
+            raise TopologyError(
+                "pseudosphere intersection needs identical process sets"
+            )
+        return Pseudosphere(
+            {p: self._views[p] & other._views[p] for p in self._views}
+        )
+
+    def predicted_connectivity(self) -> float:
+        """Lemma 4.7: ``(m - 2)``-connected with ``m`` non-empty components.
+
+        Degenerate cases follow the join structure: no non-empty component
+        means the complex is empty (``-2`` by our convention), and a process
+        with a *single* view makes the complex a cone, hence contractible
+        (``inf``) — consistent with, and sharper than, the lemma.
+        """
+        import math
+
+        m = self.nonempty_components()
+        if m == 0:
+            return -2
+        if any(len(vs) == 1 for vs in self._views.values() if vs):
+            return math.inf
+        return m - 2
+
+    def to_complex(self) -> SimplicialComplex:
+        """Materialise the facets (one view per non-empty component)."""
+        active = [(p, sorted(vs, key=repr)) for p, vs in self._views.items() if vs]
+        if not active:
+            return SimplicialComplex.empty()
+        facets = []
+        names = [p for p, _ in active]
+        for choice in product(*(vs for _, vs in active)):
+            facets.append(Simplex(zip(names, choice)))
+        return SimplicialComplex.from_simplices(facets)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pseudosphere):
+            return NotImplemented
+        return self._views == other._views
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._views.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{p!r}: {sorted(vs, key=repr)!r}" for p, vs in self._views.items()
+        )
+        return f"Pseudosphere({{{inner}}})"
+
+
+def pseudosphere_complex(
+    processes: Sequence[Hashable],
+    view_sets: Sequence[Iterable[Hashable]],
+) -> SimplicialComplex:
+    """Convenience: materialised ``φ(processes; view_sets)``."""
+    if len(processes) != len(view_sets):
+        raise TopologyError(
+            f"{len(processes)} processes but {len(view_sets)} view sets"
+        )
+    return Pseudosphere(dict(zip(processes, view_sets))).to_complex()
+
+
+def predicted_connectivity(view_sets: Sequence[Iterable[Hashable]]) -> float:
+    """Lemma 4.7 prediction without building anything."""
+    ps = Pseudosphere({i: vs for i, vs in enumerate(view_sets)})
+    return ps.predicted_connectivity()

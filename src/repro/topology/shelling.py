@@ -1,0 +1,113 @@
+"""Shellability of pure complexes (Sec 4.4, Lemma 4.15).
+
+A pure ``d``-complex is *shellable* when its facets admit an order
+``φ_1, ..., φ_r`` such that each ``(⋃_{i≤t} φ_i) ∩ φ_{t+1}`` is a pure
+``(d-1)``-subcomplex of ``φ_{t+1}``'s boundary.  Shellable complexes are
+wedges of ``d``-spheres up to homotopy, which is how the paper's Lemma 4.17
+builds high connectivity.
+
+The decision procedure is a depth-first search over facet orderings with
+memoisation on the *set* of placed facets (whether a partial order extends
+depends only on that set) — exponential in the worst case but fast for the
+paper-sized complexes we check (Fig 4, boundaries of simplexes, small
+pseudospheres).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import combinations
+
+from ..errors import TopologyError
+from .complexes import SimplicialComplex
+from .simplex import Simplex, stable_key
+
+__all__ = [
+    "is_valid_shelling_step",
+    "is_shelling_order",
+    "find_shelling_order",
+    "is_shellable",
+]
+
+
+def _facet_intersection_faces(
+    placed: Sequence[Simplex], new_facet: Simplex
+) -> set[Simplex]:
+    """Maximal faces of ``(⋃ placed) ∩ new_facet`` (pairwise intersections)."""
+    pieces: list[Simplex] = []
+    for f in placed:
+        common = f.intersection(new_facet)
+        if len(common):
+            pieces.append(common)
+    maximal: set[Simplex] = set()
+    for p in pieces:
+        if not any(p is not q and p.is_face_of(q) for q in pieces):
+            maximal.add(p)
+    return maximal
+
+
+def is_valid_shelling_step(placed: Sequence[Simplex], new_facet: Simplex) -> bool:
+    """Can ``new_facet`` extend a partial shelling of ``placed``?
+
+    Requires ``(⋃ placed) ∩ new_facet`` to be non-empty, pure of dimension
+    ``dim(new_facet) - 1``.  With no placed facets the step is trivially
+    valid.
+    """
+    if not placed:
+        return True
+    maximal = _facet_intersection_faces(placed, new_facet)
+    if not maximal:
+        return False
+    want = new_facet.dimension - 1
+    return all(m.dimension == want for m in maximal)
+
+
+def is_shelling_order(facets: Sequence[Simplex]) -> bool:
+    """Check a full candidate order (Def of shellability, Sec 4.4)."""
+    for t in range(1, len(facets)):
+        if not is_valid_shelling_step(facets[:t], facets[t]):
+            return False
+    return True
+
+
+def find_shelling_order(
+    complex_: SimplicialComplex,
+) -> list[Simplex] | None:
+    """A shelling order of the complex, or None if it is not shellable.
+
+    Raises :class:`TopologyError` on non-pure complexes (the paper only
+    defines shellability for pure ones).
+    """
+    if complex_.is_empty():
+        return []
+    if not complex_.is_pure():
+        raise TopologyError("shellability is defined for pure complexes only")
+    facets = sorted(complex_.facets, key=lambda s: stable_key(s.vertices))
+    order: list[Simplex] = []
+    dead: set[frozenset[Simplex]] = set()
+
+    def extend(remaining: set[Simplex]) -> bool:
+        if not remaining:
+            return True
+        key = frozenset(remaining)
+        if key in dead:
+            return False
+        for f in sorted(remaining, key=lambda s: stable_key(s.vertices)):
+            if is_valid_shelling_step(order, f):
+                order.append(f)
+                remaining.remove(f)
+                if extend(remaining):
+                    return True
+                remaining.add(f)
+                order.pop()
+        dead.add(key)
+        return False
+
+    if extend(set(facets)):
+        return order
+    return None
+
+
+def is_shellable(complex_: SimplicialComplex) -> bool:
+    """True iff the pure complex admits a shelling order."""
+    return find_shelling_order(complex_) is not None

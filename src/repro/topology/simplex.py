@@ -1,0 +1,159 @@
+"""Colored simplexes (Def 4.1).
+
+A simplex is a set of *(color, view)* vertices with at most one view per
+color.  Colors are process ids in this library; views are arbitrary hashable
+payloads — bitmask-like ``frozenset[int]`` for uninterpreted views, or
+``frozenset[(process, value)]`` pairs for interpreted ones.
+
+Vertices have no intrinsic order; homology code orders them through
+:func:`stable_key`, a deterministic recursive canonicalisation that works for
+the nested frozensets/tuples our views are made of.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from itertools import combinations
+
+from ..errors import TopologyError
+
+__all__ = ["Vertex", "Simplex", "stable_key"]
+
+Vertex = tuple[Hashable, Hashable]  # (color, view)
+
+
+def stable_key(obj: Hashable):
+    """A deterministic, order-defining key for nested hashable payloads.
+
+    Handles ints, strings, None, tuples, and (frozen)sets recursively; mixed
+    types are separated by type name so comparisons never fail.
+    """
+    if isinstance(obj, (frozenset, set)):
+        inner = sorted((stable_key(x) for x in obj))
+        return ("set", tuple(inner))
+    if isinstance(obj, tuple):
+        return ("tuple", tuple(stable_key(x) for x in obj))
+    return (type(obj).__name__, obj)
+
+
+class Simplex:
+    """An immutable colored simplex: a chromatic set of (color, view) pairs.
+
+    >>> s = Simplex([(0, "a"), (1, "b")])
+    >>> s.dimension
+    1
+    >>> sorted(s.colors())
+    [0, 1]
+    """
+
+    __slots__ = ("_vertices", "_by_color", "_hash")
+
+    def __init__(self, vertices: Iterable[Vertex]):
+        vs = frozenset(vertices)
+        by_color: dict[Hashable, Hashable] = {}
+        for color, view in vs:
+            if color in by_color:
+                raise TopologyError(
+                    f"simplex is not chromatic: color {color!r} appears twice"
+                )
+            by_color[color] = view
+        self._vertices = vs
+        self._by_color = by_color
+        self._hash = hash(vs)
+
+    @classmethod
+    def empty(cls) -> "Simplex":
+        """The empty simplex (dimension -1)."""
+        return cls(())
+
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        """The vertex set."""
+        return self._vertices
+
+    @property
+    def dimension(self) -> int:
+        """``|σ| - 1``; the empty simplex has dimension -1."""
+        return len(self._vertices) - 1
+
+    def colors(self) -> frozenset:
+        """The set of colors (process names) appearing in the simplex."""
+        return frozenset(self._by_color)
+
+    def views(self) -> frozenset:
+        """The set of views appearing in the simplex."""
+        return frozenset(self._by_color.values())
+
+    def view_of(self, color) -> Hashable:
+        """The view of the given color; raises if the color is absent."""
+        try:
+            return self._by_color[color]
+        except KeyError:
+            raise TopologyError(f"color {color!r} not in simplex") from None
+
+    def has_color(self, color) -> bool:
+        """Return True iff the simplex has a vertex of the given color."""
+        return color in self._by_color
+
+    # ------------------------------------------------------------------
+    def faces(self, dimension: int | None = None) -> Iterator["Simplex"]:
+        """All faces, or only those of a given dimension (``-1`` = empty)."""
+        if dimension is None:
+            for size in range(len(self._vertices) + 1):
+                for combo in combinations(self._sorted_vertices(), size):
+                    yield Simplex(combo)
+            return
+        size = dimension + 1
+        if size < 0 or size > len(self._vertices):
+            return
+        for combo in combinations(self._sorted_vertices(), size):
+            yield Simplex(combo)
+
+    def boundary(self) -> Iterator["Simplex"]:
+        """The codimension-1 faces."""
+        yield from self.faces(self.dimension - 1)
+
+    def is_face_of(self, other: "Simplex") -> bool:
+        """Return True iff every vertex of self is a vertex of ``other``."""
+        return self._vertices <= other._vertices
+
+    def intersection(self, other: "Simplex") -> "Simplex":
+        """The common face."""
+        return Simplex(self._vertices & other._vertices)
+
+    def union(self, other: "Simplex") -> "Simplex":
+        """The join-as-a-set; raises if the result is not chromatic."""
+        return Simplex(self._vertices | other._vertices)
+
+    def without_color(self, color) -> "Simplex":
+        """The face obtained by dropping the vertex of the given color."""
+        return Simplex(v for v in self._vertices if v[0] != color)
+
+    def _sorted_vertices(self) -> list[Vertex]:
+        return sorted(self._vertices, key=stable_key)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._vertices
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._sorted_vertices())
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __le__(self, other: "Simplex") -> bool:
+        return self.is_face_of(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Simplex):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({c!r}, {v!r})" for c, v in self._sorted_vertices())
+        return f"Simplex([{inner}])"

@@ -1,0 +1,94 @@
+"""Uninterpreted simplexes and complexes of graphs and models (Defs 4.3, 4.4).
+
+The uninterpreted simplex of a graph ``G`` records who heard whom in a round
+using ``G``: process ``p``'s view is ``In_G(p)`` (a ``frozenset`` of process
+ids).  The uninterpreted complex of an oblivious model has one facet per
+allowed graph.
+
+For a *simple closed-above* model ``↑G`` the complex is exactly the
+pseudosphere ``φ(Π; {T | In_G(p) ⊆ T ⊆ Π})`` (Lemma 4.8) — we build it
+symbolically through :class:`~repro.topology.pseudosphere.Pseudosphere`
+without enumerating ``↑G``.  General closed-above models give unions of such
+pseudospheres, one per generator (proof of Thm 4.12).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .._bitops import bits_tuple, full_mask, iter_supersets
+from ..errors import TopologyError
+from ..graphs.digraph import Digraph
+from .complexes import SimplicialComplex
+from .pseudosphere import Pseudosphere
+from .simplex import Simplex
+
+__all__ = [
+    "uninterpreted_simplex",
+    "uninterpreted_complex_of_graphs",
+    "closed_above_pseudosphere",
+    "uninterpreted_complex_of_closed_above",
+    "closed_above_pseudosphere_cover",
+]
+
+
+def uninterpreted_simplex(g: Digraph) -> Simplex:
+    """``σ_G = {(p, In_G(p)) | p ∈ Π}`` (Def 4.3)."""
+    return Simplex(
+        (p, frozenset(bits_tuple(g.in_mask(p)))) for p in g.processes()
+    )
+
+
+def uninterpreted_complex_of_graphs(graphs: Iterable[Digraph]) -> SimplicialComplex:
+    """Uninterpreted complex of an oblivious model given explicitly (Def 4.4).
+
+    Facets are the uninterpreted simplexes of the allowed graphs.
+    """
+    graphs = tuple(graphs)
+    if not graphs:
+        raise TopologyError("an oblivious model needs at least one graph")
+    return SimplicialComplex.from_simplices(
+        uninterpreted_simplex(g) for g in graphs
+    )
+
+
+def closed_above_pseudosphere(g: Digraph) -> Pseudosphere:
+    """The symbolic pseudosphere of ``↑G`` (Lemma 4.8).
+
+    Process ``p`` may see any view ``T`` with ``In_G(p) ⊆ T ⊆ Π``.
+    """
+    universe = full_mask(g.n)
+    views = {
+        p: frozenset(
+            frozenset(bits_tuple(t))
+            for t in iter_supersets(g.in_mask(p), universe)
+        )
+        for p in g.processes()
+    }
+    return Pseudosphere(views)
+
+
+def closed_above_pseudosphere_cover(
+    generators: Iterable[Digraph],
+) -> list[Pseudosphere]:
+    """One pseudosphere per generator — the cover used in Thm 4.12's proof."""
+    generators = tuple(generators)
+    if not generators:
+        raise TopologyError("a closed-above model needs at least one generator")
+    return [closed_above_pseudosphere(g) for g in generators]
+
+
+def uninterpreted_complex_of_closed_above(
+    generators: Iterable[Digraph],
+) -> SimplicialComplex:
+    """Materialised uninterpreted complex of a closed-above model.
+
+    The union of the generator pseudospheres; exponential in the number of
+    missing edges, so intended for the small ``n`` of the experiments
+    (``n ≤ 4`` comfortably, sparse ``n = 5`` at a stretch).
+    """
+    cover = closed_above_pseudosphere_cover(generators)
+    result = cover[0].to_complex()
+    for ps in cover[1:]:
+        result = result.union(ps.to_complex())
+    return result

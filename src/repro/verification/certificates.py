@@ -1,0 +1,81 @@
+"""Counterexample certificates.
+
+Lower bounds say "no algorithm achieves k"; these helpers find the concrete
+executions on which a *given* algorithm fails a target ``k`` — useful to
+show the paper's upper bounds are not slack (the witnessing algorithm really
+cannot do better) and to debug candidate algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+
+from ..agreement.algorithms import ObliviousAlgorithm
+from ..agreement.execution import ExecutionResult, execute
+from ..agreement.task import KSetAgreement
+from ..errors import VerificationError
+from ..models.closed_above import ClosedAboveModel
+from .exhaustive import exhaustive_inputs
+
+__all__ = ["find_violation", "tightness_certificate"]
+
+
+def find_violation(
+    algorithm: ObliviousAlgorithm,
+    model: ClosedAboveModel,
+    k: int,
+    values=None,
+    superset_samples: int = 10,
+    rng: random.Random | None = None,
+) -> ExecutionResult | None:
+    """An execution on which the algorithm decides more than ``k`` values.
+
+    Searches generator sequences exhaustively plus sampled supersets.
+    Returns None when no violation was found (which does **not** prove the
+    algorithm achieves ``k`` unless the search was exhaustive over the
+    model — see :func:`repro.verification.exhaustive.verify_algorithm`).
+    """
+    if values is None:
+        values = tuple(range(k + 1))
+    task = KSetAgreement(k, values)
+    rng = rng or random.Random(0)
+    generators = list(model.iter_generators())
+    inputs_list = list(exhaustive_inputs(model.n, values))
+    from ..graphs.closure import sample_superset
+
+    for sequence in product(generators, repeat=algorithm.rounds):
+        variants = [tuple(sequence)]
+        for _ in range(superset_samples):
+            variants.append(tuple(sample_superset(g, rng) for g in sequence))
+        for graphs in variants:
+            for inputs in inputs_list:
+                result = execute(algorithm, inputs, graphs, task)
+                if not result.ok:
+                    return result
+    return None
+
+
+def tightness_certificate(
+    algorithm: ObliviousAlgorithm,
+    model: ClosedAboveModel,
+    achieved_k: int,
+) -> ExecutionResult:
+    """Certificate that the algorithm achieves exactly ``achieved_k``.
+
+    Asserts a violation of ``achieved_k - 1`` exists and returns it; raises
+    :class:`VerificationError` if the algorithm seems to do strictly better
+    (meaning the claimed ``k`` is slack for this algorithm).
+    """
+    if achieved_k < 2:
+        raise VerificationError(
+            "tightness certificates need achieved_k >= 2 (a violation of "
+            "k - 1 >= 1 must be expressible)"
+        )
+    violation = find_violation(algorithm, model, achieved_k - 1)
+    if violation is None:
+        raise VerificationError(
+            f"no execution forces {achieved_k} distinct decisions; the "
+            f"algorithm may actually solve {achieved_k - 1}-set agreement"
+        )
+    return violation

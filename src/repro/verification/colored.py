@@ -1,0 +1,71 @@
+"""Colored (process-aware) one-round solvability.
+
+The paper remarks (end of Sec 5) that its one-round lower bounds apply to
+*general* algorithms because "a one round full information protocol is an
+oblivious algorithm".  Formally, a general one-round decision map may
+depend on the deciding process's identity — its variables are the vertices
+``(p, view)`` of the chromatic protocol complex — while an oblivious map
+(Def 2.5) is keyed by the flattened view alone.
+
+This module implements the colored search so the remark can be *tested*:
+:func:`decide_one_round_solvability_colored` quantifies over all colored
+maps; comparing with the oblivious search on enumerable models checks that
+the extra freedom never helps in one round.  (It cannot *hurt* — every
+oblivious map is a colored map — so the interesting direction is colored
+SAT ⟹ oblivious SAT.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from itertools import product
+
+from ..errors import VerificationError
+from ..graphs.digraph import Digraph
+from .solvability import SolvabilityResult, _solve_csp
+
+__all__ = ["decide_one_round_solvability_colored"]
+
+
+def decide_one_round_solvability_colored(
+    graphs: Sequence[Digraph],
+    k: int,
+    values: Sequence[Hashable] | None = None,
+) -> SolvabilityResult:
+    """Is there a *colored* one-round decision map for k-set agreement?
+
+    Variables are ``(process, view)`` pairs; validity still restricts each
+    variable to the values present in the view (the adversary argument is
+    identity-independent).  Same soundness caveats as the oblivious search:
+    UNSAT on a subset of a model is sound, SAT needs the full model.
+    """
+    graphs = tuple(graphs)
+    if not graphs:
+        raise VerificationError("need at least one graph")
+    n = graphs[0].n
+    if any(g.n != n for g in graphs):
+        raise VerificationError("graphs must share the process count")
+    if k < 1:
+        raise VerificationError(f"k must be positive, got {k}")
+    if values is None:
+        values = tuple(range(k + 1))
+    values = tuple(values)
+    if len(values) < 2:
+        raise VerificationError("need at least two values")
+
+    index: dict = {}
+    domains: list[tuple] = []
+    executions: list[tuple[int, ...]] = []
+    for g in graphs:
+        in_neighbors = [g.in_neighbors(p) for p in range(n)]
+        for assignment in product(values, repeat=n):
+            exec_vars = set()
+            for p in range(n):
+                view = frozenset((q, assignment[q]) for q in in_neighbors[p])
+                key = (p, view)
+                if key not in index:
+                    index[key] = len(index)
+                    domains.append(tuple(sorted({v for _, v in view})))
+                exec_vars.add(index[key])
+            executions.append(tuple(sorted(exec_vars)))
+    return _solve_csp(index, executions, k, domains=domains)

@@ -1,0 +1,109 @@
+"""Exhaustive verification of algorithms against models.
+
+For small ``n`` we can quantify over *all* input assignments and *all*
+relevant graph choices, turning the paper's upper-bound theorems into
+machine-checked facts rather than spot checks.
+
+Graph coverage for closed-above models: enumerating ``⋃↑S`` entirely is
+exponential, so :func:`verify_algorithm` checks every sequence of
+*generator* graphs exhaustively and augments it with randomly sampled
+supersets.  For the paper's min-based algorithms the generators are the
+adversary's stingiest choice, but the sampling guards against monotonicity
+assumptions being wrong — and `exhaustive_closure=True` removes the gap
+entirely when the closure is small enough to enumerate.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterator, Sequence
+from itertools import product
+
+from ..agreement.algorithms import ObliviousAlgorithm
+from ..agreement.execution import ExecutionResult, execute
+from ..agreement.task import KSetAgreement
+from ..errors import VerificationError
+from ..graphs.closure import sample_superset
+from ..graphs.digraph import Digraph
+from ..models.closed_above import ClosedAboveModel
+
+__all__ = ["exhaustive_inputs", "verify_algorithm", "VerificationReport"]
+
+
+def exhaustive_inputs(
+    n: int, values: Sequence[Hashable]
+) -> Iterator[dict[int, Hashable]]:
+    """Every input assignment ``values^n`` (|values|**n of them)."""
+    if not values:
+        raise VerificationError("need at least one input value")
+    for combo in product(values, repeat=n):
+        yield dict(enumerate(combo))
+
+
+class VerificationReport:
+    """Outcome of an exhaustive/randomised verification run."""
+
+    def __init__(self) -> None:
+        self.executions = 0
+        self.failures: list[ExecutionResult] = []
+
+    @property
+    def ok(self) -> bool:
+        """True iff no execution violated the task."""
+        return not self.failures
+
+    def record(self, result: ExecutionResult) -> None:
+        """Count a finished execution, keeping failures as counterexamples."""
+        self.executions += 1
+        if not result.ok:
+            self.failures.append(result)
+
+    def __repr__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return f"VerificationReport({status}, executions={self.executions})"
+
+
+def verify_algorithm(
+    algorithm: ObliviousAlgorithm,
+    model: ClosedAboveModel,
+    task: KSetAgreement,
+    superset_samples: int = 20,
+    exhaustive_closure: bool = False,
+    closure_budget: int = 1 << 14,
+    rng: random.Random | None = None,
+    stop_at_first_failure: bool = False,
+) -> VerificationReport:
+    """Verify an algorithm on every input and every generator sequence.
+
+    Parameters
+    ----------
+    superset_samples:
+        Per generator sequence, how many randomly-superset-ed variants to
+        additionally test (0 disables).
+    exhaustive_closure:
+        Enumerate the *entire* allowed graph set instead of generators +
+        samples; raises through the closure budget if too large.
+    stop_at_first_failure:
+        Abort early with the first counterexample.
+    """
+    rng = rng or random.Random(0)
+    report = VerificationReport()
+    if exhaustive_closure:
+        graph_pool = list(model.iter_graphs(max_graphs=closure_budget))
+    else:
+        graph_pool = list(model.iter_generators())
+    inputs_list = list(exhaustive_inputs(model.n, task.values))
+    for sequence in product(graph_pool, repeat=algorithm.rounds):
+        variants: list[tuple[Digraph, ...]] = [tuple(sequence)]
+        if not exhaustive_closure:
+            for _ in range(superset_samples):
+                variants.append(
+                    tuple(sample_superset(g, rng) for g in sequence)
+                )
+        for graphs in variants:
+            for inputs in inputs_list:
+                result = execute(algorithm, inputs, graphs, task)
+                report.record(result)
+                if stop_at_first_failure and not result.ok:
+                    return report
+    return report

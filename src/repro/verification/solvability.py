@@ -1,0 +1,255 @@
+"""Exact one-round solvability of k-set agreement by oblivious algorithms.
+
+This module decides, by exhaustive constraint search, whether *any*
+oblivious decision map solves ``k``-set agreement in one round against an
+explicit set of graphs.  It is the ground truth the paper's bounds are
+measured against in experiments E5/E10:
+
+* **UNSAT** on a subset of a model's graphs ⟹ impossibility on the model
+  (more graphs only constrain further) — certifying lower bounds;
+* **SAT** on the *full* allowed graph set ⟹ solvability — certifying that
+  an upper bound is not just sufficient but achieved by some map.
+
+Formulation.  A one-round oblivious algorithm is a map ``δ`` from flattened
+views (sets of ``(process, value)`` pairs) to values.  With at least two
+input values, validity forces ``δ(v)`` to pick a value present in ``v``
+(otherwise the adversary completes the execution so that ``δ(v)`` is
+nobody's input).  Each execution — a graph ``G`` and an input assignment —
+constrains the set ``{δ(view_p)}`` to at most ``k`` distinct values.
+
+The CSP is solved by backtracking with forward checking: once an execution
+has ``k`` distinct decided values, the domains of its still-undecided views
+are restricted to those values; an emptied domain backtracks immediately.
+Variables are chosen fail-first (smallest live domain, then most
+constrained).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+from itertools import product
+
+from ..agreement.views import ObliviousView
+from ..errors import VerificationError
+from ..graphs.digraph import Digraph
+
+__all__ = ["SolvabilitySearch", "decide_one_round_solvability", "SolvabilityResult"]
+
+
+@dataclass(frozen=True)
+class SolvabilityResult:
+    """Verdict of the search, with a witness decision map when solvable."""
+
+    solvable: bool
+    k: int
+    view_count: int
+    execution_count: int
+    decision_map: dict[ObliviousView, Hashable] | None
+    rounds: int = 1
+
+    def describe(self) -> str:
+        verdict = "solvable" if self.solvable else "IMPOSSIBLE"
+        word = "round" if self.rounds == 1 else "rounds"
+        return (
+            f"{self.k}-set agreement ({self.rounds} {word}): {verdict} "
+            f"[{self.view_count} views, {self.execution_count} executions]"
+        )
+
+
+def _solve_csp(
+    view_index: dict,
+    executions: list[tuple[int, ...]],
+    k: int,
+    rounds: int = 1,
+    domains: list[tuple] | None = None,
+) -> SolvabilityResult:
+    """Shared CSP core: views, per-execution ≤k-distinct constraints.
+
+    Deduplicates and subsumption-reduces the execution rows, restricts each
+    view's domain to the values it contains (validity) unless explicit
+    ``domains`` are given (the colored search keys variables by
+    ``(process, view)`` and supplies domains itself), then backtracks with
+    forward checking.  Used by the one-round, multi-round and colored
+    searches.
+    """
+    executions = list(dict.fromkeys(executions))
+    exec_sets = [frozenset(e) for e in executions]
+    keep = []
+    for i, es in enumerate(exec_sets):
+        if not any(i != j and es < other for j, other in enumerate(exec_sets)):
+            keep.append(executions[i])
+    executions = keep
+    views: list[ObliviousView | None] = [None] * len(view_index)
+    for view, idx in view_index.items():
+        views[idx] = view
+    occurs: list[list[int]] = [[] for _ in views]
+    for e, exec_views in enumerate(executions):
+        for idx in exec_views:
+            occurs[idx].append(e)
+    if domains is None:
+        base_domains = [tuple(sorted({v for _, v in view})) for view in views]
+    else:
+        base_domains = domains
+    solvable, assignment = _backtrack_decision_map(
+        executions, occurs, base_domains, k
+    )
+    decision_map = None
+    if solvable:
+        decision_map = {view: assignment[idx] for idx, view in enumerate(views)}
+    return SolvabilityResult(
+        solvable=solvable,
+        k=k,
+        view_count=len(views),
+        execution_count=len(executions),
+        decision_map=decision_map,
+        rounds=rounds,
+    )
+
+
+def _backtrack_decision_map(
+    executions: list[tuple[int, ...]],
+    occurs: list[list[int]],
+    base_domains: list[tuple],
+    k: int,
+) -> tuple[bool, list]:
+    """Forward-checking backtracker; returns (solvable, assignment)."""
+    nviews = len(base_domains)
+    domains: list[set] = [set(d) for d in base_domains]
+    assignment: list = [None] * nviews
+    decided: list[set] = [set() for _ in executions]
+    trail: list[tuple[int, Hashable]] = []
+
+    def prune(view: int, value) -> bool:
+        domains[view].discard(value)
+        trail.append((view, value))
+        return bool(domains[view])
+
+    def assign(idx: int, value) -> tuple[bool, int, list[int]]:
+        mark = len(trail)
+        touched = []
+        assignment[idx] = value
+        ok = True
+        for e in occurs[idx]:
+            dec = decided[e]
+            if value not in dec:
+                dec.add(value)
+                touched.append(e)
+                if len(dec) == k:
+                    for other in executions[e]:
+                        if assignment[other] is None:
+                            for bad in [x for x in domains[other] if x not in dec]:
+                                if not prune(other, bad):
+                                    ok = False
+                                    break
+                        if not ok:
+                            break
+                elif len(dec) > k:  # pragma: no cover - pruned earlier
+                    ok = False
+            if not ok:
+                break
+        return ok, mark, touched
+
+    def undo(idx: int, mark: int, touched: list[int], value) -> None:
+        assignment[idx] = None
+        while len(trail) > mark:
+            view, removed = trail.pop()
+            domains[view].add(removed)
+        for e in touched:
+            decided[e].discard(value)
+
+    def pick_variable() -> int | None:
+        best = None
+        best_key = None
+        for idx in range(nviews):
+            if assignment[idx] is not None:
+                continue
+            key = (len(domains[idx]), -len(occurs[idx]))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = idx
+        return best
+
+    def backtrack() -> bool:
+        idx = pick_variable()
+        if idx is None:
+            return True
+        for value in sorted(domains[idx], key=repr):
+            ok, mark, touched = assign(idx, value)
+            if ok and backtrack():
+                return True
+            undo(idx, mark, touched, value)
+        return False
+
+    return backtrack(), assignment
+
+
+class SolvabilitySearch:
+    """Backtracking + forward-checking CSP search over decision maps."""
+
+    def __init__(
+        self,
+        graphs: Sequence[Digraph],
+        k: int,
+        values: Sequence[Hashable],
+    ):
+        graphs = tuple(graphs)
+        if not graphs:
+            raise VerificationError("need at least one graph")
+        n = graphs[0].n
+        if any(g.n != n for g in graphs):
+            raise VerificationError("graphs must share the process count")
+        if k < 1:
+            raise VerificationError(f"k must be positive, got {k}")
+        values = tuple(values)
+        if len(values) < 2:
+            raise VerificationError(
+                "need at least two values (one value makes the task trivial "
+                "and breaks the validity-restriction argument)"
+            )
+        self._graphs = graphs
+        self._n = n
+        self._k = k
+        self._values = values
+        self._build_csp()
+
+    def _build_csp(self) -> None:
+        """Index distinct views and the per-execution constraint rows."""
+        view_index: dict[ObliviousView, int] = {}
+        executions: list[tuple[int, ...]] = []
+        for g in self._graphs:
+            in_neighbors = [g.in_neighbors(p) for p in range(self._n)]
+            for assignment in product(self._values, repeat=self._n):
+                exec_views = set()
+                for p in range(self._n):
+                    view = frozenset(
+                        (q, assignment[q]) for q in in_neighbors[p]
+                    )
+                    idx = view_index.setdefault(view, len(view_index))
+                    exec_views.add(idx)
+                executions.append(tuple(sorted(exec_views)))
+        self._view_index = view_index
+        self._raw_executions = executions
+
+    # ------------------------------------------------------------------
+    def solve(self) -> SolvabilityResult:
+        """Run the search; see the module docstring for the strategy."""
+        return _solve_csp(self._view_index, self._raw_executions, self._k)
+
+
+def decide_one_round_solvability(
+    graphs: Sequence[Digraph],
+    k: int,
+    values: Sequence[Hashable] | None = None,
+) -> SolvabilityResult:
+    """Decide one-round oblivious solvability of ``k``-set agreement.
+
+    ``values`` defaults to ``0..k`` (``k + 1`` values), which is sufficient
+    to witness impossibility: a violation needs ``k + 1`` distinct decided
+    values.  A SAT answer over ``graphs`` that are the *complete* model is
+    a genuine algorithm; over a subset it only means "not disproved here".
+    """
+    if values is None:
+        values = tuple(range(k + 1))
+    search = SolvabilitySearch(graphs, k, values)
+    return search.solve()

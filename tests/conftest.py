@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    cycle,
+    figure1_second,
+    figure1_star,
+    figure2_graph,
+    star,
+    union_of_stars,
+    wheel,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests must not depend on global random state."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def wheel4():
+    """Fig 1's right graph: broadcaster + directed triangle."""
+    return figure1_second()
+
+
+@pytest.fixture
+def star4():
+    """Fig 1's left graph: broadcast star on 4 processes."""
+    return figure1_star()
+
+
+@pytest.fixture
+def fig2():
+    """Fig 2's 3-process graph."""
+    return figure2_graph()
+
+
+@pytest.fixture
+def cycle6():
+    """The 6-cycle of the Sec 6.1 product example."""
+    return cycle(6)
+
+
+@pytest.fixture
+def stars52():
+    """Union of two stars on 5 processes (Thm 6.13 family)."""
+    return union_of_stars(5, (0, 1))
+
+
+@pytest.fixture(params=[3, 4, 5])
+def small_n(request) -> int:
+    """Process counts small enough for exhaustive machinery."""
+    return request.param

@@ -1,0 +1,110 @@
+"""Tests for worst-case adversary analysis and colored solvability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agreement import FloodMin, MinOfDominatingSet
+from repro.errors import VerificationError
+from repro.graphs import cycle, star, symmetric_closure, wheel
+from repro.models import simple_closed_above, symmetric_closed_above
+from repro.verification import (
+    achieved_k,
+    decide_one_round_solvability,
+    decide_one_round_solvability_colored,
+    worst_case_decisions,
+)
+
+
+class TestWorstCase:
+    def test_floodmin_achieves_gamma_eq_exactly(self):
+        """On Sym(↑C4): FloodMin's worst case is exactly γ_eq = 3 — the
+        Thm 3.4 analysis is not conservative for this model."""
+        model = symmetric_closed_above([cycle(4)])
+        assert achieved_k(FloodMin(1), model) == 3
+
+    def test_min_dominating_achieves_gamma(self):
+        model = simple_closed_above(wheel(4))
+        assert achieved_k(MinOfDominatingSet(wheel(4)), model) == 1
+
+    def test_min_dominating_on_cycle(self):
+        g = cycle(4)
+        model = simple_closed_above(g)
+        assert achieved_k(MinOfDominatingSet(g), model) == 2
+
+    def test_witness_carried(self):
+        model = symmetric_closed_above([cycle(4)])
+        worst = worst_case_decisions(FloodMin(1), model, values=(0, 1, 2, 3))
+        assert worst.distinct == 3
+        assert len(set(worst.witness.decisions.values())) == 3
+        assert "worst case" in worst.describe()
+
+    def test_exhaustive_closure_option(self):
+        model = simple_closed_above(cycle(3))
+        worst = worst_case_decisions(
+            FloodMin(1), model, values=(0, 1, 2), exhaustive_closure=True
+        )
+        assert worst.distinct == 2
+
+    def test_superset_samples_never_reduce(self):
+        model = symmetric_closed_above([cycle(4)])
+        base = worst_case_decisions(FloodMin(1), model, values=(0, 1, 2, 3))
+        sampled = worst_case_decisions(
+            FloodMin(1), model, values=(0, 1, 2, 3), superset_samples=3
+        )
+        assert sampled.distinct >= base.distinct
+
+    def test_validation(self):
+        model = simple_closed_above(cycle(3))
+        with pytest.raises(VerificationError):
+            worst_case_decisions(FloodMin(1), model, values=())
+
+
+class TestColoredSolvability:
+    def test_generators_colored_strictly_stronger(self):
+        """On the *generator subset* of Sym(star(3)) identity helps: the
+        colored map can branch on "am I a centre?", the oblivious one
+        cannot."""
+        generators = sorted(symmetric_closure([star(3, 0)]))
+        assert not decide_one_round_solvability(generators, 1).solvable
+        assert decide_one_round_solvability_colored(generators, 1).solvable
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_full_model_equivalence_star(self, k):
+        """The paper's Sec 5 remark, machine-checked: over the *full*
+        closed-above model, colored and oblivious one-round solvability
+        coincide."""
+        model = symmetric_closed_above([star(3, 0)])
+        full = sorted(model.iter_graphs())
+        oblivious = decide_one_round_solvability(full, k).solvable
+        colored = decide_one_round_solvability_colored(full, k).solvable
+        assert oblivious == colored
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_full_model_equivalence_cycle(self, k):
+        model = simple_closed_above(cycle(3))
+        full = sorted(model.iter_graphs())
+        oblivious = decide_one_round_solvability(full, k).solvable
+        colored = decide_one_round_solvability_colored(full, k).solvable
+        assert oblivious == colored
+
+    def test_colored_validation(self):
+        with pytest.raises(VerificationError):
+            decide_one_round_solvability_colored([], 1)
+        with pytest.raises(VerificationError):
+            decide_one_round_solvability_colored([cycle(3)], 0)
+        with pytest.raises(VerificationError):
+            decide_one_round_solvability_colored([cycle(3)], 1, values=(1,))
+        with pytest.raises(VerificationError):
+            decide_one_round_solvability_colored([cycle(3), cycle(4)], 1)
+
+    def test_colored_never_weaker(self):
+        """Every oblivious map is a colored map: SAT(oblivious) ⟹
+        SAT(colored), on arbitrary graph subsets."""
+        for g in (cycle(3), wheel(4)):
+            gens = sorted(symmetric_closure([g]))
+            for k in (1, 2):
+                if decide_one_round_solvability(gens, k).solvable:
+                    assert decide_one_round_solvability_colored(
+                        gens, k
+                    ).solvable

@@ -1,0 +1,156 @@
+"""Tests for the oblivious algorithms (Thms 3.2/3.4/3.7/6.7) and executor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.agreement import (
+    ExecutionResult,
+    FloodMin,
+    KSetAgreement,
+    MinOfDominatingSet,
+    execute,
+    execute_with_adversary,
+    random_trials,
+)
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    complete_graph,
+    cycle,
+    domination_number,
+    star,
+    union_of_stars,
+    wheel,
+)
+from repro.models import (
+    FixedSequenceAdversary,
+    simple_closed_above,
+    symmetric_closed_above,
+)
+
+
+class TestMinOfDominatingSet:
+    def test_dominating_set_computed(self, wheel4):
+        alg = MinOfDominatingSet(wheel4)
+        assert alg.dominating_set == (0,)
+        assert alg.guarantee == 1
+        assert alg.rounds == 1
+
+    def test_explicit_dominating_set_validated(self, wheel4):
+        with pytest.raises(AlgorithmError):
+            MinOfDominatingSet(wheel4, dominating_set=[1])
+        alg = MinOfDominatingSet(wheel4, dominating_set=[0])
+        assert alg.dominating_set == (0,)
+
+    def test_out_of_range_member(self, wheel4):
+        with pytest.raises(AlgorithmError):
+            MinOfDominatingSet(wheel4, dominating_set=[9])
+
+    def test_decides_min_of_dominators(self, wheel4):
+        alg = MinOfDominatingSet(wheel4, dominating_set=[0])
+        view = frozenset({(0, 5), (1, 1)})
+        assert alg.decide(view) == 5  # value 1 is not from the dominator
+
+    def test_missing_dominator_raises(self, wheel4):
+        alg = MinOfDominatingSet(wheel4, dominating_set=[0])
+        with pytest.raises(AlgorithmError):
+            alg.decide(frozenset({(1, 1)}))
+
+    def test_solves_gamma_on_execution(self, wheel4):
+        alg = MinOfDominatingSet(wheel4)
+        task = KSetAgreement(1, range(4))
+        result = execute(alg, {p: p for p in range(4)}, [wheel4], task)
+        assert result.ok
+        assert set(result.decisions.values()) == {0}
+
+
+class TestFloodMin:
+    def test_basic(self):
+        alg = FloodMin(1)
+        assert alg.decide(frozenset({(0, 3), (1, 1)})) == 1
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(AlgorithmError):
+            FloodMin(1).decide(frozenset())
+
+    def test_rounds_validation(self):
+        with pytest.raises(AlgorithmError):
+            FloodMin(0)
+
+    def test_name_mentions_rounds(self):
+        assert "2" in FloodMin(2).name()
+
+    def test_multi_round_floods_cycle(self):
+        """After n-1 rounds of C_n everyone knows the global minimum."""
+        g = cycle(4)
+        alg = FloodMin(3)
+        task = KSetAgreement(1, range(4))
+        result = execute(alg, {p: p for p in range(4)}, [g] * 3, task)
+        assert result.ok
+        assert set(result.decisions.values()) == {0}
+
+    def test_one_round_achieves_gamma_eq(self):
+        """Thm 3.4 on a concrete run: at most γ_eq values decided."""
+        g = cycle(4)  # γ_eq = 3
+        alg = FloodMin(1)
+        task = KSetAgreement(3, range(4))
+        result = execute(alg, {p: p for p in range(4)}, [g], task)
+        assert result.ok
+
+
+class TestExecutor:
+    def test_round_count_enforced(self):
+        with pytest.raises(AlgorithmError):
+            execute(FloodMin(2), {0: 0, 1: 1}, [complete_graph(2)])
+
+    def test_result_fields(self):
+        result = execute(FloodMin(1), {0: 0, 1: 1}, [complete_graph(2)])
+        assert isinstance(result, ExecutionResult)
+        assert result.outcome is None
+        assert not result.ok  # unchecked executions are not "ok"
+        assert result.decisions == {0: 0, 1: 0}
+
+    def test_with_adversary(self):
+        adv = FixedSequenceAdversary([cycle(3)])
+        task = KSetAgreement(2, range(3))
+        result = execute_with_adversary(
+            FloodMin(1), {0: 0, 1: 1, 2: 2}, adv, task
+        )
+        assert result.graphs == (cycle(3),)
+        assert result.ok
+
+    def test_random_trials(self, rng):
+        model = symmetric_closed_above([star(4, 0)])
+        task = KSetAgreement(2, range(3))
+        results = random_trials(FloodMin(1), model, task, 20, rng)
+        assert len(results) == 20
+        assert all(r.ok for r in results)
+
+    def test_random_trials_validation(self, rng):
+        model = simple_closed_above(cycle(3))
+        task = KSetAgreement(1, range(2))
+        with pytest.raises(AlgorithmError):
+            random_trials(FloodMin(1), model, task, 0, rng)
+
+
+class TestPaperGuarantees:
+    """Spot checks of the headline guarantees on adversarial executions."""
+
+    def test_thm32_star(self):
+        g = star(4, 2)
+        alg = MinOfDominatingSet(g)
+        task = KSetAgreement(domination_number(g), range(5))
+        # Worst case: the generator itself.
+        result = execute(alg, {0: 4, 1: 3, 2: 2, 3: 1}, [g], task)
+        assert result.ok
+        assert set(result.decisions.values()) == {2}  # the centre's value
+
+    def test_thm34_union_of_stars(self):
+        g = union_of_stars(5, (0, 1))
+        model = symmetric_closed_above([g])
+        task = KSetAgreement(4, range(5))  # γ_eq = n - s + 1 = 4
+        rng = random.Random(1)
+        results = random_trials(FloodMin(1), model, task, 30, rng)
+        assert all(r.ok for r in results)

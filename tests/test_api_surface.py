@@ -1,0 +1,104 @@
+"""API-surface and invariant tests: exports, doctests, report invariants."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.analysis.experiments import EXPERIMENTS, run
+from repro.bounds import BoundKind, bound_report
+from repro.graphs import symmetric_closure
+from tests.test_digraph import random_digraphs
+
+
+class TestPackageSurface:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.agreement
+        import repro.analysis
+        import repro.bounds
+        import repro.combinatorics
+        import repro.graphs
+        import repro.models
+        import repro.topology
+        import repro.verification
+
+        for module in (
+            repro.agreement,
+            repro.analysis,
+            repro.bounds,
+            repro.combinatorics,
+            repro.graphs,
+            repro.models,
+            repro.topology,
+            repro.verification,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module, name)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_example(self):
+        """The example in repro.__doc__ must keep working."""
+        from repro import bound_report
+        from repro.graphs import symmetric_closure, wheel
+
+        report = bound_report(symmetric_closure([wheel(4)]))
+        assert (report.best_upper.k, report.best_lower.k, report.tight) == (
+            3,
+            2,
+            True,
+        )
+
+
+class TestExperimentRegistry:
+    def test_all_sixteen_registered(self):
+        assert len(EXPERIMENTS) == 16
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 17)}
+
+    def test_run_writes_markdown(self):
+        stream = io.StringIO()
+        run(["E2"], stream=stream)
+        out = stream.getvalue()
+        assert out.startswith("## E2")
+        assert "```" in out
+
+    def test_run_unknown_id(self):
+        with pytest.raises(SystemExit):
+            run(["E99"], stream=io.StringIO())
+
+
+class TestReportInvariants:
+    @given(random_digraphs(4))
+    @settings(max_examples=15, deadline=None)
+    def test_report_structure_on_random_models(self, g):
+        report = bound_report([g])
+        assert report.best_upper.kind is BoundKind.UPPER
+        assert report.best_lower.kind is BoundKind.LOWER
+        assert 1 <= report.best_upper.k <= g.n
+        assert 0 <= report.best_lower.k < g.n
+        # Simple models: Thm 3.2/5.1 bracket is always consistent.
+        thm_51 = [b for b in report.lower_bounds if b.theorem == "5.1"]
+        thm_32 = [b for b in report.upper_bounds if b.theorem == "3.2"]
+        assert thm_51[0].k == thm_32[0].k - 1
+
+    @given(random_digraphs(3))
+    @settings(max_examples=10, deadline=None)
+    def test_symmetrisation_never_hurts_upper(self, g):
+        """Cor 3.5: the symmetric model's γ_eq bound covers the orbit."""
+        single = bound_report([g])
+        sym = bound_report(sorted(symmetric_closure([g])))
+        gamma_eq_single = [
+            b for b in single.upper_bounds if b.theorem == "3.4"
+        ][0]
+        gamma_eq_sym = [b for b in sym.upper_bounds if b.theorem == "3.4"][0]
+        # γ_eq is permutation-invariant, so the two must coincide.
+        assert gamma_eq_single.k == gamma_eq_sym.k

@@ -1,0 +1,119 @@
+"""Unit and property tests for repro._bitops."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bitops import (
+    bit,
+    bits_tuple,
+    full_mask,
+    is_subset,
+    iter_bits,
+    iter_subsets,
+    iter_subsets_of_size,
+    iter_supersets,
+    lowest_bit,
+    mask_of,
+    popcount,
+)
+
+masks = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+
+class TestBasics:
+    def test_bit(self):
+        assert bit(0) == 1
+        assert bit(5) == 32
+
+    def test_bit_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit(-1)
+
+    def test_mask_of_roundtrip(self):
+        assert mask_of([0, 2, 3]) == 0b1101
+
+    def test_mask_of_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of([1, -2])
+
+    def test_full_mask(self):
+        assert full_mask(0) == 0
+        assert full_mask(4) == 0b1111
+
+    def test_full_mask_negative_rejected(self):
+        with pytest.raises(ValueError):
+            full_mask(-1)
+
+    def test_lowest_bit(self):
+        assert lowest_bit(0b1010) == 1
+
+    def test_lowest_bit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lowest_bit(0)
+
+
+class TestIteration:
+    def test_iter_bits_order(self):
+        assert list(iter_bits(0b10110)) == [1, 2, 4]
+
+    def test_bits_tuple_empty(self):
+        assert bits_tuple(0) == ()
+
+    def test_iter_subsets_count(self):
+        assert len(list(iter_subsets(0b101))) == 4
+
+    def test_iter_subsets_of_size_matches_combinations(self):
+        mask = 0b11011
+        elements = bits_tuple(mask)
+        for size in range(len(elements) + 1):
+            got = sorted(iter_subsets_of_size(mask, size))
+            want = sorted(mask_of(c) for c in combinations(elements, size))
+            assert got == want
+
+    def test_iter_subsets_of_size_too_big(self):
+        assert list(iter_subsets_of_size(0b11, 3)) == []
+
+    def test_iter_subsets_of_size_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_subsets_of_size(0b11, -1))
+
+    def test_iter_supersets(self):
+        got = sorted(iter_supersets(0b001, 0b101))
+        assert got == [0b001, 0b101]
+
+    def test_iter_supersets_requires_subset(self):
+        with pytest.raises(ValueError):
+            list(iter_supersets(0b10, 0b01))
+
+
+class TestProperties:
+    @given(masks)
+    def test_popcount_matches_bits(self, mask):
+        assert popcount(mask) == len(list(iter_bits(mask)))
+
+    @given(masks)
+    def test_mask_of_roundtrips(self, mask):
+        assert mask_of(iter_bits(mask)) == mask
+
+    @given(masks)
+    def test_subsets_are_subsets(self, mask):
+        subs = list(iter_subsets(mask))
+        assert len(subs) == 1 << popcount(mask)
+        assert all(is_subset(s, mask) for s in subs)
+        assert len(set(subs)) == len(subs)
+
+    @given(masks, masks)
+    def test_is_subset_definition(self, a, b):
+        assert is_subset(a, b) == (set(iter_bits(a)) <= set(iter_bits(b)))
+
+    @given(masks)
+    def test_supersets_within_universe(self, mask):
+        universe = full_mask(12)
+        supers = list(iter_supersets(mask, universe))
+        assert len(supers) == 1 << (12 - popcount(mask))
+        assert all(is_subset(mask, s) and is_subset(s, universe) for s in supers)

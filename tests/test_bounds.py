@@ -1,0 +1,239 @@
+"""Tests for the bounds engine: every theorem's executable form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds import (
+    Bound,
+    BoundKind,
+    all_covering_upper_bounds,
+    best_lower_bound,
+    best_upper_bound,
+    bound_report,
+    lower_bound_general,
+    lower_bound_general_multi_round,
+    lower_bound_simple,
+    lower_bound_simple_multi_round,
+    lower_bound_star_unions,
+    lower_bound_symmetric,
+    upper_bound_covering,
+    upper_bound_covering_multi_round,
+    upper_bound_covering_sequence,
+    upper_bound_covering_sequence_of_set,
+    upper_bound_gamma_eq,
+    upper_bound_gamma_eq_multi_round,
+    upper_bound_simple,
+    upper_bound_simple_multi_round,
+)
+from repro.errors import GraphError
+from repro.graphs import (
+    complete_graph,
+    cycle,
+    star,
+    symmetric_closure,
+    union_of_stars,
+    wheel,
+)
+
+
+class TestBoundRecord:
+    def test_describe(self):
+        b = Bound(BoundKind.UPPER, 2, 1, "3.2")
+        assert "solvable" in b.describe()
+        b = Bound(BoundKind.LOWER, 2, 1, "5.4")
+        assert "impossible" in b.describe()
+
+    def test_vacuous(self):
+        assert Bound(BoundKind.LOWER, 0, 1, "5.1").vacuous
+        assert "no impossibility" in Bound(BoundKind.LOWER, 0, 1, "5.1").describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bound(BoundKind.UPPER, -1, 1, "x")
+        with pytest.raises(ValueError):
+            Bound(BoundKind.UPPER, 1, 0, "x")
+
+    def test_oblivious_flag_in_description(self):
+        b = Bound(BoundKind.LOWER, 1, 2, "6.10", oblivious_only=True)
+        assert "oblivious" in b.describe()
+
+
+class TestOneRoundUppers:
+    def test_thm32_star(self):
+        b = upper_bound_simple(star(5, 0))
+        assert b.k == 1 and b.theorem == "3.2"
+        assert b.details["dominating_set"] == (0,)
+
+    def test_thm32_cycle(self):
+        assert upper_bound_simple(cycle(6)).k == 3
+
+    def test_thm34(self):
+        sym = sorted(symmetric_closure([wheel(4)]))
+        b = upper_bound_gamma_eq(sym)
+        assert b.k == 4 and b.theorem == "3.4"
+
+    def test_thm37_fig1_model(self):
+        """Sec 3.2: covering bound gives 3-set on Sym(fig1-right)."""
+        sym = sorted(symmetric_closure([wheel(4)]))
+        b = upper_bound_covering(sym, 2)
+        assert b.k == 3
+        assert b.details["cov_i"] == 3
+
+    def test_thm37_star_no_gain(self):
+        """Sec 3.2: on Sym(star) the covering bound never beats γ_eq."""
+        sym = sorted(symmetric_closure([star(4, 0)]))
+        gamma_eq = upper_bound_gamma_eq(sym).k
+        for b in all_covering_upper_bounds(sym):
+            assert b.k >= gamma_eq
+
+    def test_thm37_range_validation(self):
+        sym = sorted(symmetric_closure([wheel(4)]))
+        with pytest.raises(GraphError):
+            upper_bound_covering(sym, 0)
+        with pytest.raises(GraphError):
+            upper_bound_covering(sym, 4)  # == γ_eq
+
+    def test_best_upper_combines(self):
+        sym = sorted(symmetric_closure([wheel(4)]))
+        assert best_upper_bound(sym).k == 3
+
+    def test_empty_generators(self):
+        with pytest.raises(GraphError):
+            upper_bound_gamma_eq([])
+
+
+class TestOneRoundLowers:
+    def test_thm51(self):
+        b = lower_bound_simple(cycle(6))
+        assert b.k == 2  # γ - 1
+        assert b.theorem == "5.1"
+
+    def test_thm51_vacuous_for_star(self):
+        assert lower_bound_simple(star(4, 0)).vacuous
+
+    def test_thm54_star_unions(self):
+        """Sec 5's flagship computation: l + 1 = n - s."""
+        for n, s in ((4, 1), (4, 2), (5, 2), (5, 3)):
+            sym = sorted(
+                symmetric_closure([union_of_stars(n, tuple(range(s)))])
+            )
+            b = lower_bound_general(sym)
+            assert b.k == n - s, (n, s, b.details)
+
+    def test_thm54_matches_closed_form(self):
+        for n, s in ((4, 2), (5, 2), (5, 3)):
+            sym = sorted(
+                symmetric_closure([union_of_stars(n, tuple(range(s)))])
+            )
+            assert lower_bound_general(sym).k == lower_bound_star_unions(n, s).k
+
+    def test_cor55_equals_general_on_sym(self):
+        g = wheel(4)
+        direct = lower_bound_general(sorted(symmetric_closure([g])))
+        cor = lower_bound_symmetric(g)
+        assert cor.k == direct.k
+        assert cor.theorem == "5.5"
+
+    def test_star_unions_validation(self):
+        with pytest.raises(GraphError):
+            lower_bound_star_unions(4, 0)
+        with pytest.raises(GraphError):
+            lower_bound_star_unions(4, 5)
+
+
+class TestMultiRound:
+    def test_thm63_cycle_decay(self):
+        assert upper_bound_simple_multi_round(cycle(6), 1).k == 3
+        assert upper_bound_simple_multi_round(cycle(6), 2).k == 2
+        assert upper_bound_simple_multi_round(cycle(6), 5).k == 1
+
+    def test_thm64(self):
+        sym = sorted(symmetric_closure([cycle(4)]))
+        b = upper_bound_gamma_eq_multi_round(sym, 2)
+        assert b.theorem == "6.4"
+        assert b.k <= upper_bound_gamma_eq(sym).k
+
+    def test_thm65_range(self):
+        sym = sorted(symmetric_closure([cycle(4)]))
+        b = upper_bound_covering_multi_round(sym, 2, 1)
+        assert b.rounds == 2
+
+    def test_thm67_cycle(self):
+        b = upper_bound_covering_sequence(cycle(5), 1)
+        assert b is not None
+        assert b.k == 1 and b.rounds == 4
+
+    def test_thm67_stalls_on_star(self):
+        assert upper_bound_covering_sequence(star(4, 0), 1) is None
+
+    def test_thm69_set(self):
+        sym = sorted(symmetric_closure([cycle(4)]))
+        b = upper_bound_covering_sequence_of_set(sym, 1)
+        assert b is not None and b.k == 1
+
+    def test_thm610_uses_power(self):
+        """The erratum: 6.10 must track γ(G^r), else it contradicts 6.3."""
+        lower = lower_bound_simple_multi_round(cycle(6), 2)
+        upper = upper_bound_simple_multi_round(cycle(6), 2)
+        assert lower.k == upper.k - 1  # tight, no contradiction
+        assert lower.oblivious_only
+
+    def test_thm611(self):
+        sym = sorted(symmetric_closure([union_of_stars(4, (0, 1))]))
+        b = lower_bound_general_multi_round(sym, 2)
+        assert b.theorem == "6.11"
+        assert b.k == 4 - 2  # Thm 6.13: n - s at every round count
+
+    def test_thm613_stable_across_rounds(self):
+        """Appendix G: star products are idempotent, the bound persists."""
+        sym = sorted(symmetric_closure([union_of_stars(4, (0, 1))]))
+        for r in (1, 2, 3):
+            assert lower_bound_general_multi_round(sym, r).k == 2
+
+    def test_rounds_validation(self):
+        with pytest.raises(GraphError):
+            upper_bound_simple_multi_round(cycle(4), 0)
+        with pytest.raises(GraphError):
+            lower_bound_general_multi_round([cycle(4)], 0)
+
+
+class TestBoundReport:
+    def test_tight_on_fig1_model(self):
+        sym = sorted(symmetric_closure([wheel(4)]))
+        report = bound_report(sym)
+        assert report.best_upper.k == 3
+        assert report.best_lower.k == 2
+        assert report.tight
+        assert "TIGHT" in report.describe()
+
+    def test_simple_model_report(self):
+        report = bound_report([cycle(6)])
+        assert report.best_upper.k == 3
+        assert report.best_lower.k == 2
+        assert report.tight
+
+    def test_multi_round_report_surfaces_erratum(self):
+        """Reproduction finding: Thm 5.4's formula on ↑C6² claims 2-set
+        impossibility, but Thm 3.2's MinOfDominatingSet({0,3}) provably
+        solves 2-set agreement there (every graph above C6² delivers p0's
+        value to {0,1,2} and p3's to {3,4,5}).  The report must flag the
+        contradiction instead of calling it tight."""
+        report = bound_report([cycle(6)], rounds=2)
+        assert report.rounds == 2
+        assert report.best_upper.k == 2
+        assert not report.consistent
+        assert not report.tight
+        assert "INCONSISTENT" in report.describe()
+        # Thm 6.10 alone (drop the overclaiming 6.11 record) is tight.
+        thm_610 = [b for b in report.lower_bounds if b.theorem == "6.10"]
+        assert thm_610 and thm_610[0].k == 1
+
+    def test_best_bounds_helpers(self):
+        sym = sorted(symmetric_closure([union_of_stars(5, (0, 1))]))
+        assert best_lower_bound(sym).k == 3
+        assert best_upper_bound(sym).k == 4
+
+    def test_report_empty_rejected(self):
+        with pytest.raises(GraphError):
+            bound_report([])

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestBounds:
+    def test_wheel_symmetric(self, capsys):
+        assert main(["bounds", "--family", "wheel", "--n", "4", "--symmetric"]) == 0
+        out = capsys.readouterr().out
+        assert "TIGHT" in out
+        assert "solvable at k=3" in out
+
+    def test_union_of_stars_with_centers(self, capsys):
+        code = main(
+            [
+                "bounds", "--family", "union_of_stars", "--n", "5",
+                "--centers", "0,1", "--symmetric",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "impossible at k=3" in out
+
+    def test_multi_round(self, capsys):
+        assert main(["bounds", "--family", "cycle", "--n", "6", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 round(s)" in out
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["bounds", "--family", "nonsense", "--n", "3"])
+
+
+class TestSearch:
+    def test_unsat_exit_code(self, capsys):
+        code = main(["search", "--family", "cycle", "--n", "4", "--k", "1"])
+        assert code == 1
+        assert "IMPOSSIBLE" in capsys.readouterr().out
+
+    def test_sat_with_note(self, capsys):
+        code = main(["search", "--family", "cycle", "--n", "4", "--k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solvable" in out
+        assert "not disproved" in out
+
+    def test_full_model(self, capsys):
+        code = main(
+            ["search", "--family", "cycle", "--n", "3", "--k", "2", "--full"]
+        )
+        assert code == 0
+        assert "full model" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_passing(self, capsys):
+        code = main(
+            [
+                "verify", "--family", "cycle", "--n", "4", "--k", "3",
+                "--symmetric", "--samples", "1",
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_failing_prints_counterexample(self, capsys):
+        code = main(
+            [
+                "verify", "--family", "cycle", "--n", "4", "--k", "1",
+                "--samples", "0",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "counterexample" in out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "E2"]) == 0
+        out = capsys.readouterr().out
+        assert "E2" in out and "p1" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "E99"])

@@ -1,0 +1,131 @@
+"""Tests for upward closures (Def 2.3) and symmetric closures (Def 2.4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Digraph,
+    canonical_form,
+    complete_graph,
+    cycle,
+    in_model,
+    in_upward_closure,
+    is_symmetric,
+    iter_isomorphism_classes,
+    iter_upward_closure,
+    minimal_generators,
+    missing_edges,
+    orbit,
+    sample_superset,
+    star,
+    symmetric_closure,
+    upward_closure_size,
+)
+from tests.test_digraph import random_digraphs
+
+
+class TestUpwardClosure:
+    def test_generator_in_own_closure(self):
+        g = cycle(4)
+        assert in_upward_closure(g, g)
+
+    def test_clique_in_every_closure(self):
+        g = cycle(4)
+        assert in_upward_closure(complete_graph(4), g)
+
+    def test_subgraph_not_in_closure(self):
+        g = cycle(4)
+        assert not in_upward_closure(Digraph.empty(4), g)
+
+    def test_closure_size(self):
+        g = cycle(3)  # 3 proper edges present, 3 missing
+        assert upward_closure_size(g) == 8
+        assert len(missing_edges(g)) == 3
+
+    def test_enumeration_matches_size(self):
+        g = cycle(3)
+        graphs = list(iter_upward_closure(g))
+        assert len(graphs) == 8
+        assert len(set(graphs)) == 8
+        assert all(in_upward_closure(h, g) for h in graphs)
+
+    def test_enumeration_budget(self):
+        with pytest.raises(GraphError):
+            list(iter_upward_closure(Digraph.empty(5), max_graphs=10))
+
+    def test_in_model_union(self):
+        generators = [star(3, 0), star(3, 1)]
+        assert in_model(star(3, 0), generators)
+        assert not in_model(Digraph.empty(3), generators)
+
+    def test_minimal_generators_drops_supersets(self):
+        g = cycle(4)
+        bigger = g.with_edges([(0, 2)])
+        assert minimal_generators([g, bigger]) == frozenset({g})
+
+    def test_minimal_generators_keeps_incomparable(self):
+        a = star(3, 0)
+        b = star(3, 1)
+        assert minimal_generators([a, b]) == frozenset({a, b})
+
+    def test_minimal_generators_empty_rejected(self):
+        with pytest.raises(GraphError):
+            minimal_generators([])
+
+    def test_sample_superset_in_closure(self):
+        rng = random.Random(0)
+        g = cycle(4)
+        for _ in range(20):
+            assert in_upward_closure(sample_superset(g, rng), g)
+
+    def test_sample_superset_probability_extremes(self):
+        rng = random.Random(0)
+        g = cycle(4)
+        assert sample_superset(g, rng, 0.0) == g
+        assert sample_superset(g, rng, 1.0) == complete_graph(4)
+
+    def test_sample_superset_bad_probability(self):
+        with pytest.raises(GraphError):
+            sample_superset(cycle(3), random.Random(0), 1.5)
+
+
+class TestSymmetricClosure:
+    def test_orbit_size_star(self):
+        # A star on n processes has n relabellings (one per centre).
+        assert len(orbit(star(4, 0))) == 4
+
+    def test_orbit_of_clique_is_singleton(self):
+        assert orbit(complete_graph(3)) == frozenset({complete_graph(3)})
+
+    def test_symmetric_closure_is_symmetric(self):
+        sym = symmetric_closure([cycle(4)])
+        assert is_symmetric(sym)
+
+    def test_symmetric_closure_idempotent(self):
+        sym = symmetric_closure([star(4, 2)])
+        assert symmetric_closure(sym) == sym
+
+    def test_sym_empty_rejected(self):
+        with pytest.raises(GraphError):
+            symmetric_closure([])
+
+    def test_canonical_form_identifies_isomorphs(self):
+        g = star(4, 0)
+        h = star(4, 3)
+        assert canonical_form(g) == canonical_form(h)
+        assert canonical_form(g) != canonical_form(cycle(4))
+
+    def test_iter_isomorphism_classes(self):
+        graphs = [star(3, i) for i in range(3)] + [cycle(3)]
+        classes = list(iter_isomorphism_classes(graphs))
+        assert len(classes) == 2
+
+    @given(random_digraphs(4))
+    def test_orbit_members_isomorphic_invariants(self, g):
+        sizes = {h.proper_edge_count for h in orbit(g)}
+        assert sizes == {g.proper_edge_count}

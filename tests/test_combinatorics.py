@@ -1,0 +1,192 @@
+"""Tests for the combinatorial numbers (Defs 3.1, 3.3, 3.6, 5.2, 5.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro._bitops import full_mask, iter_subsets_of_size, popcount
+from repro.combinatorics import (
+    covering_number,
+    covering_number_of_set,
+    covering_numbers,
+    distributed_domination_number,
+    domination_number,
+    equal_domination_number,
+    equal_domination_number_of_set,
+    joint_out_of_set,
+    max_covering_coefficient,
+    max_covering_number,
+    max_covering_witness,
+    worst_covered_set,
+    worst_non_dominating_set,
+)
+from repro.errors import GraphError
+from repro.graphs import (
+    Digraph,
+    complete_graph,
+    cycle,
+    star,
+    symmetric_closure,
+    union_of_stars,
+    wheel,
+)
+from tests.test_digraph import random_digraphs
+
+
+class TestEqualDomination:
+    def test_clique(self):
+        assert equal_domination_number(complete_graph(4)) == 1
+
+    def test_star_is_n(self):
+        assert equal_domination_number(star(5, 0)) == 5
+
+    def test_cycle(self):
+        # Any 3 nodes of C4 dominate; some pair does not.
+        assert equal_domination_number(cycle(4)) == 3
+
+    def test_wheel_is_n(self):
+        # {1,2,3} misses the broadcaster 0 whose only in-edge is its loop.
+        assert equal_domination_number(wheel(4)) == 4
+
+    def test_set_takes_max(self):
+        graphs = [complete_graph(4), star(4, 0)]
+        assert equal_domination_number_of_set(graphs) == 4
+
+    def test_set_empty_rejected(self):
+        with pytest.raises(GraphError):
+            equal_domination_number_of_set([])
+
+    def test_worst_non_dominating_witness(self):
+        g = star(4, 0)
+        witness = worst_non_dominating_set(g, 3)
+        assert witness is not None
+        assert not g.dominates(witness)
+        assert popcount(witness) == 3
+
+    def test_worst_non_dominating_none_when_all_dominate(self):
+        assert worst_non_dominating_set(complete_graph(3), 1) is None
+
+    @given(random_digraphs(5))
+    def test_gamma_le_gamma_eq(self, g):
+        assert domination_number(g) <= equal_domination_number(g)
+
+    @given(random_digraphs(5))
+    def test_definition(self, g):
+        """γ_eq is the least i with every i-set dominating."""
+        geq = equal_domination_number(g)
+        universe = full_mask(g.n)
+        assert all(
+            g.dominates(p) for p in iter_subsets_of_size(universe, geq)
+        )
+        if geq > 1:
+            assert any(
+                not g.dominates(p)
+                for p in iter_subsets_of_size(universe, geq - 1)
+            )
+
+
+class TestCoveringNumbers:
+    def test_star_profile(self):
+        # cov_i of a star: i leaves reach only themselves.
+        assert covering_numbers(star(4, 0)) == (1, 2, 3, 4)
+
+    def test_wheel_profile(self):
+        assert covering_numbers(wheel(4)) == (2, 3, 3, 4)
+
+    def test_cov_ge_i(self):
+        for i, cov in enumerate(covering_numbers(cycle(5)), start=1):
+            assert cov >= i
+
+    def test_set_takes_min(self):
+        graphs = [star(4, 0), complete_graph(4)]
+        assert covering_number_of_set(graphs, 1) == 1
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(GraphError):
+            covering_number(cycle(3), 0)
+        with pytest.raises(GraphError):
+            covering_number(cycle(3), 4)
+
+    def test_worst_covered_set_is_witness(self):
+        g = wheel(4)
+        members = worst_covered_set(g, 2)
+        assert popcount(members) == 2
+        assert popcount(g.out_of_set(members)) == covering_number(g, 2)
+
+    @given(random_digraphs(5))
+    def test_monotone_in_i(self, g):
+        profile = covering_numbers(g)
+        assert all(a <= b for a, b in zip(profile, profile[1:]))
+
+
+class TestDistributedDomination:
+    def test_paper_star_value_pointwise(self):
+        """Appendix G: γ_dist(Sym(s stars)) = n - s + 1 (pointwise)."""
+        for n, s in ((4, 1), (4, 2), (5, 2), (5, 3)):
+            sym = symmetric_closure([union_of_stars(n, tuple(range(s)))])
+            assert distributed_domination_number(sym) == n - s + 1
+
+    def test_subsets_semantics_is_smaller(self):
+        sym = symmetric_closure([union_of_stars(5, (0, 1))])
+        literal = distributed_domination_number(sym, "subsets")
+        pointwise = distributed_domination_number(sym)
+        assert literal <= pointwise
+        assert literal == 3  # the literal Def 5.2 value on this model
+
+    def test_pointwise_equals_gamma_eq(self):
+        """With repetition allowed the notion collapses to γ_eq(S)."""
+        sym = sorted(symmetric_closure([cycle(4)]))
+        assert distributed_domination_number(sym) == (
+            equal_domination_number_of_set(sym)
+        )
+
+    def test_bad_semantics_rejected(self):
+        with pytest.raises(GraphError):
+            distributed_domination_number([cycle(3)], "banana")
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            distributed_domination_number([])
+
+    def test_single_graph_equals_gamma_eq(self):
+        g = wheel(4)
+        assert distributed_domination_number([g]) == equal_domination_number(g)
+
+
+class TestMaxCovering:
+    def test_star_unions_are_silent(self):
+        """Sec 5: for union-of-stars models max-cov_t = t (silent sets)."""
+        sym = symmetric_closure([union_of_stars(5, (0, 1))])
+        gdist = distributed_domination_number(sym)
+        for t in range(1, gdist):
+            assert max_covering_number(sym, t) == t
+            assert max_covering_coefficient(sym, t) == 5 - t
+
+    def test_undefined_beyond_gamma_dist(self):
+        sym = sorted(symmetric_closure([complete_graph(3)]))
+        with pytest.raises(GraphError):
+            max_covering_number(sym, 1)
+
+    def test_witness_consistency(self):
+        sym = sorted(symmetric_closure([cycle(4)]))
+        witness = max_covering_witness(sym, 1)
+        assert witness is not None
+        value, members, graphs = witness
+        assert popcount(members) == 1
+        audience = joint_out_of_set(graphs, members)
+        assert popcount(audience) == value == max_covering_number(sym, 1)
+        assert audience != full_mask(4)
+
+    def test_coefficient_formula(self):
+        """M_i = floor((n-i-1)/(max_cov-i)) when spread exceeds i."""
+        sym = sorted(symmetric_closure([cycle(4)]))
+        t = 1
+        mc = max_covering_number(sym, t)
+        assert mc > t
+        expected = (4 - t - 1) // (mc - t)
+        assert max_covering_coefficient(sym, t) == expected
+
+    def test_bad_index(self):
+        with pytest.raises(GraphError):
+            max_covering_witness([cycle(3)], 0)

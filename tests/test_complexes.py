@@ -1,0 +1,116 @@
+"""Tests for simplicial complexes (Def 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Simplex, SimplicialComplex
+
+
+def tri(*colors, view="v"):
+    return Simplex((c, view) for c in colors)
+
+
+class TestConstruction:
+    def test_facets_kept(self):
+        c = SimplicialComplex([tri(0, 1, 2)])
+        assert len(c) == 1
+        assert c.dimension == 2
+
+    def test_dominated_facet_rejected(self):
+        with pytest.raises(TopologyError):
+            SimplicialComplex([tri(0, 1, 2), tri(0, 1)])
+
+    def test_from_simplices_normalises(self):
+        c = SimplicialComplex.from_simplices([tri(0, 1, 2), tri(0, 1)])
+        assert c.facets == frozenset({tri(0, 1, 2)})
+
+    def test_empty(self):
+        c = SimplicialComplex.empty()
+        assert c.is_empty()
+        assert c.dimension == -1
+        assert c.is_pure()
+
+    def test_purity(self):
+        pure = SimplicialComplex([tri(0, 1), tri(1, 2)])
+        impure = SimplicialComplex([tri(0, 1, 2), tri(3, 4)])
+        assert pure.is_pure()
+        assert not impure.is_pure()
+
+
+class TestQueries:
+    def test_simplices_dedup(self):
+        c = SimplicialComplex([tri(0, 1, 2), tri(1, 2, 3)])
+        # Shared edge (1,2) counted once: vertices 4, edges 5, triangles 2.
+        assert c.simplex_counts() == (4, 5, 2)
+
+    def test_euler_characteristic(self):
+        # Two triangles glued along an edge are contractible: χ = 1.
+        c = SimplicialComplex([tri(0, 1, 2), tri(1, 2, 3)])
+        assert c.euler_characteristic() == 1
+
+    def test_euler_of_hollow_triangle(self):
+        c = SimplicialComplex.from_simplices(tri(0, 1, 2).boundary())
+        assert c.euler_characteristic() == 0  # a circle
+
+    def test_contains_simplex(self):
+        c = SimplicialComplex([tri(0, 1, 2)])
+        assert c.contains_simplex(tri(0, 1))
+        assert c.contains_simplex(Simplex.empty())
+        assert not c.contains_simplex(tri(0, 3))
+
+    def test_vertices_and_colors(self):
+        c = SimplicialComplex([tri(0, 1), tri(2, 3)])
+        assert len(c.vertices) == 4
+        assert c.colors == {0, 1, 2, 3}
+
+
+class TestOperations:
+    def test_skeleton(self):
+        c = SimplicialComplex([tri(0, 1, 2)])
+        skel = c.skeleton(1)
+        assert skel.dimension == 1
+        assert skel.simplex_counts() == (3, 3)
+
+    def test_skeleton_negative(self):
+        assert SimplicialComplex([tri(0, 1)]).skeleton(-1).is_empty()
+
+    def test_union(self):
+        a = SimplicialComplex([tri(0, 1, 2)])
+        b = SimplicialComplex([tri(1, 2, 3)])
+        u = a.union(b)
+        assert len(u) == 2
+
+    def test_union_absorbs_faces(self):
+        a = SimplicialComplex([tri(0, 1, 2)])
+        b = SimplicialComplex([tri(0, 1)])
+        assert a.union(b) == a
+
+    def test_intersection_along_edge(self):
+        a = SimplicialComplex([tri(0, 1, 2)])
+        b = SimplicialComplex([tri(1, 2, 3)])
+        i = a.intersection(b)
+        assert i.facets == frozenset({tri(1, 2)})
+
+    def test_intersection_empty(self):
+        a = SimplicialComplex([tri(0, 1)])
+        b = SimplicialComplex([tri(2, 3)])
+        assert a.intersection(b).is_empty()
+
+    def test_star_and_link(self):
+        c = SimplicialComplex([tri(0, 1, 2), tri(1, 2, 3)])
+        star = c.star((0, "v"))
+        assert star.facets == frozenset({tri(0, 1, 2)})
+        link = c.link((0, "v"))
+        assert link.facets == frozenset({tri(1, 2)})
+
+    def test_induced_by_facets_validates(self):
+        c = SimplicialComplex([tri(0, 1, 2)])
+        with pytest.raises(TopologyError):
+            c.induced_by_facets([tri(4, 5, 6)])
+
+    def test_induced_subcomplex(self):
+        c = SimplicialComplex([tri(0, 1, 2), tri(1, 2, 3)])
+        sub = c.induced_by_facets([tri(0, 1, 2)])
+        assert len(sub) == 1

@@ -1,0 +1,165 @@
+"""Unit and property tests for repro.graphs.digraph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bitops import full_mask, mask_of, popcount
+from repro.errors import GraphError, ProcessMismatchError
+from repro.graphs import Digraph
+
+
+def random_digraphs(max_n: int = 5):
+    """Hypothesis strategy for digraphs with arbitrary proper edges."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_n))
+        edges = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ),
+                max_size=n * n,
+            )
+        )
+        return Digraph.from_edges(n, edges)
+
+    return build()
+
+
+class TestConstruction:
+    def test_self_loops_forced(self):
+        g = Digraph(3, [0, 0, 0])
+        assert all(g.has_edge(p, p) for p in range(3))
+
+    def test_from_edges(self):
+        g = Digraph.from_edges(3, [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(GraphError):
+            Digraph(0, [])
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            Digraph(3, [0, 0])
+
+    def test_row_out_of_universe_rejected(self):
+        with pytest.raises(GraphError):
+            Digraph(2, [0b100, 0])
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            Digraph.from_edges(2, [(0, 2)])
+
+    def test_empty_and_complete(self):
+        e = Digraph.empty(3)
+        c = Digraph.complete(3)
+        assert e.proper_edge_count == 0
+        assert c.proper_edge_count == 6
+        assert e.is_subgraph_of(c)
+
+
+class TestAccessors:
+    def test_in_out_duality(self):
+        g = Digraph.from_edges(3, [(0, 1), (2, 1)])
+        assert g.in_neighbors(1) == (0, 1, 2)
+        assert g.out_neighbors(0) == (0, 1)
+
+    def test_edges_include_loops(self):
+        g = Digraph.empty(2)
+        assert sorted(g.edges()) == [(0, 0), (1, 1)]
+        assert list(g.proper_edges()) == []
+
+    def test_edge_count(self):
+        g = Digraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.edge_count == 5
+        assert g.proper_edge_count == 2
+
+    def test_out_of_set_contains_members(self):
+        g = Digraph.from_edges(4, [(0, 1)])
+        members = mask_of([0, 2])
+        assert g.out_of_set(members) & members == members
+
+    def test_dominates(self):
+        g = Digraph.from_edges(3, [(0, 1), (0, 2)])
+        assert g.dominates(mask_of([0]))
+        assert not g.dominates(mask_of([1]))
+
+
+class TestDerived:
+    def test_with_without_edges(self):
+        g = Digraph.empty(3)
+        h = g.with_edges([(0, 1)])
+        assert h.has_edge(0, 1)
+        assert h.without_edges([(0, 1)]) == g
+
+    def test_without_edges_keeps_loops(self):
+        g = Digraph.empty(2)
+        assert g.without_edges([(0, 0)]) == g
+
+    def test_reverse_involution(self):
+        g = Digraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.reverse().reverse() == g
+
+    def test_permute_identity(self):
+        g = Digraph.from_edges(3, [(0, 1)])
+        assert g.permute([0, 1, 2]) == g
+
+    def test_permute_moves_edges(self):
+        g = Digraph.from_edges(3, [(0, 1)])
+        h = g.permute([1, 2, 0])
+        assert h.has_edge(1, 2)
+
+    def test_permute_rejects_non_permutation(self):
+        g = Digraph.empty(3)
+        with pytest.raises(GraphError):
+            g.permute([0, 0, 1])
+
+    def test_subgraph_mismatch_rejected(self):
+        with pytest.raises(ProcessMismatchError):
+            Digraph.empty(2).is_subgraph_of(Digraph.empty(3))
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        g = Digraph.from_edges(4, [(0, 1), (2, 3), (3, 0)])
+        assert Digraph.from_networkx(g.to_networkx()) == g
+
+    def test_from_networkx_bad_nodes(self):
+        import networkx as nx
+
+        h = nx.DiGraph()
+        h.add_node(5)
+        with pytest.raises(GraphError):
+            Digraph.from_networkx(h)
+
+
+class TestPropertyBased:
+    @given(random_digraphs())
+    def test_in_out_consistency(self, g):
+        for u in g.processes():
+            for v in g.processes():
+                assert g.has_edge(u, v) == bool(g.in_mask(v) >> u & 1)
+
+    @given(random_digraphs())
+    def test_edge_count_is_sum_of_degrees(self, g):
+        assert g.edge_count == sum(popcount(g.in_mask(v)) for v in g.processes())
+
+    @given(random_digraphs())
+    def test_reverse_preserves_edge_count(self, g):
+        assert g.reverse().edge_count == g.edge_count
+
+    @given(random_digraphs())
+    def test_full_set_always_dominates(self, g):
+        assert g.dominates(full_mask(g.n))
+
+    @given(random_digraphs())
+    def test_hash_equals_on_equal(self, g):
+        h = Digraph(g.n, g.out_rows)
+        assert g == h
+        assert hash(g) == hash(h)

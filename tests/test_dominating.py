@@ -1,0 +1,95 @@
+"""Tests for the dominating-set solvers."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro._bitops import full_mask, iter_subsets_of_size, popcount
+from repro.graphs import (
+    Digraph,
+    all_minimum_dominating_sets,
+    complete_graph,
+    cycle,
+    domination_number,
+    greedy_dominating_set,
+    is_dominating_set,
+    minimum_dominating_set,
+    out_tree,
+    star,
+    union_of_stars,
+    wheel,
+)
+from tests.test_digraph import random_digraphs
+
+
+class TestExactSolver:
+    def test_star(self):
+        assert domination_number(star(6, 3)) == 1
+        assert minimum_dominating_set(star(6, 3)) == 1 << 3
+
+    def test_clique(self):
+        assert domination_number(complete_graph(5)) == 1
+
+    def test_empty_graph_needs_everyone(self):
+        assert domination_number(Digraph.empty(4)) == 4
+
+    def test_cycles(self):
+        assert domination_number(cycle(4)) == 2
+        assert domination_number(cycle(6)) == 3
+        assert domination_number(cycle(7)) == 4
+
+    def test_wheel(self):
+        assert domination_number(wheel(4)) == 1
+
+    def test_union_of_stars(self):
+        assert domination_number(union_of_stars(6, (0, 3))) == 1
+
+    def test_binary_tree(self):
+        assert domination_number(out_tree(7)) == 3
+
+    def test_result_is_dominating(self):
+        g = cycle(7)
+        assert is_dominating_set(g, minimum_dominating_set(g))
+
+
+class TestAllMinimum:
+    def test_star_unique(self):
+        assert all_minimum_dominating_sets(star(4, 1)) == [1 << 1]
+
+    def test_cycle4_count(self):
+        # In C4 every pair of "antipodal-or-adjacent" nodes covering all:
+        # {i, i+2} both pairs, and adjacent pairs {i, i+1}? {0,1} covers
+        # 0,1,2 — not 3. So exactly the two antipodal pairs dominate.
+        sets = all_minimum_dominating_sets(cycle(4))
+        assert sets == sorted([0b0101, 0b1010])
+
+    def test_all_results_optimal_and_dominating(self):
+        g = out_tree(6)
+        gamma = domination_number(g)
+        for members in all_minimum_dominating_sets(g):
+            assert popcount(members) == gamma
+            assert is_dominating_set(g, members)
+
+
+class TestGreedy:
+    @given(random_digraphs(6))
+    def test_greedy_dominates(self, g):
+        assert is_dominating_set(g, greedy_dominating_set(g))
+
+    @given(random_digraphs(6))
+    def test_exact_not_worse_than_greedy(self, g):
+        assert domination_number(g) <= popcount(greedy_dominating_set(g))
+
+    @given(random_digraphs(5))
+    def test_exact_is_minimum(self, g):
+        """Cross-check the branch-and-bound against brute force."""
+        gamma = domination_number(g)
+        universe = full_mask(g.n)
+        brute = next(
+            size
+            for size in range(1, g.n + 1)
+            if any(
+                g.dominates(p) for p in iter_subsets_of_size(universe, size)
+            )
+        )
+        assert gamma == brute

@@ -1,0 +1,172 @@
+"""Tests for the named graph families, including the figure graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    bidirectional_cycle,
+    bidirectional_path,
+    complete_bipartite,
+    complete_graph,
+    cycle,
+    domination_number,
+    empty_graph,
+    figure1_second,
+    figure1_star,
+    figure2_graph,
+    in_tree,
+    inward_star,
+    is_strongly_connected,
+    is_tournament,
+    kernel,
+    out_tree,
+    path,
+    rotating_tournament,
+    star,
+    tournament,
+    union_of_stars,
+    wheel,
+)
+from repro.combinatorics import covering_numbers, equal_domination_number
+
+
+class TestStars:
+    def test_star_center_broadcasts(self):
+        g = star(5, 2)
+        assert g.out_neighbors(2) == (0, 1, 2, 3, 4)
+        assert kernel(g) == 1 << 2
+
+    def test_star_domination_is_one(self):
+        assert domination_number(star(6, 0)) == 1
+
+    def test_star_gamma_eq_is_n(self):
+        # Paper Sec 3.2: the star's equal-domination number equals n.
+        assert equal_domination_number(star(4, 0)) == 4
+
+    def test_union_of_stars_kernel(self):
+        g = union_of_stars(5, (1, 3))
+        assert kernel(g) == (1 << 1) | (1 << 3)
+
+    def test_union_of_stars_duplicate_rejected(self):
+        with pytest.raises(GraphError):
+            union_of_stars(4, (0, 0))
+
+    def test_union_of_stars_empty_rejected(self):
+        with pytest.raises(GraphError):
+            union_of_stars(4, ())
+
+    def test_inward_star_reverses_star(self):
+        assert inward_star(4, 1) == star(4, 1).reverse()
+
+
+class TestCyclesAndPaths:
+    def test_cycle_structure(self):
+        g = cycle(4)
+        assert g.has_edge(3, 0)
+        assert all(g.has_edge(u, (u + 1) % 4) for u in range(4))
+        assert g.proper_edge_count == 4
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle(1)
+
+    def test_cycle_strongly_connected(self):
+        assert is_strongly_connected(cycle(5))
+
+    def test_cycle_domination(self):
+        # γ(C_n) = ceil(n/2) for the directed cycle with self-loops: each
+        # node covers itself and its successor.
+        assert domination_number(cycle(4)) == 2
+        assert domination_number(cycle(5)) == 3
+        assert domination_number(cycle(6)) == 3
+
+    def test_bidirectional_cycle_covers_three(self):
+        g = bidirectional_cycle(6)
+        assert domination_number(g) == 2
+
+    def test_path_not_strongly_connected(self):
+        assert not is_strongly_connected(path(3))
+
+    def test_bidirectional_path(self):
+        g = bidirectional_path(4)
+        assert g.has_edge(2, 1) and g.has_edge(1, 2)
+
+
+class TestTrees:
+    def test_out_tree_edges(self):
+        g = out_tree(7, branching=2)
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+        assert g.has_edge(1, 3) and g.has_edge(2, 6)
+
+    def test_out_tree_domination(self):
+        # Internal nodes {0,1,2} dominate the complete binary tree on 7.
+        assert domination_number(out_tree(7)) == 3
+
+    def test_in_tree_is_reverse(self):
+        assert in_tree(7) == out_tree(7).reverse()
+
+    def test_branching_validation(self):
+        with pytest.raises(GraphError):
+            out_tree(4, branching=0)
+
+
+class TestTournaments:
+    def test_tournament_property(self):
+        assert is_tournament(tournament(5))
+
+    def test_rotating_tournament(self):
+        g = rotating_tournament(5)
+        assert is_tournament(g)
+
+    def test_rotating_tournament_even_rejected(self):
+        with pytest.raises(GraphError):
+            rotating_tournament(4)
+
+
+class TestBipartiteAndWheel:
+    def test_complete_bipartite(self):
+        g = complete_bipartite((0, 1), (2, 3, 4))
+        assert all(g.has_edge(u, v) for u in (0, 1) for v in (2, 3, 4))
+        assert not g.has_edge(2, 0)
+
+    def test_complete_bipartite_overlap_rejected(self):
+        with pytest.raises(GraphError):
+            complete_bipartite((0, 1), (1, 2))
+
+    def test_wheel_needs_three(self):
+        with pytest.raises(GraphError):
+            wheel(2)
+
+    def test_trivial_families(self):
+        assert empty_graph(3).proper_edge_count == 0
+        assert complete_graph(3).proper_edge_count == 6
+
+
+class TestFigureGraphs:
+    def test_figure1_star_is_star(self):
+        assert figure1_star() == star(4, 0)
+
+    def test_figure1_second_matches_paper_numbers(self):
+        """Sec 3.2: cov_2(S) = 3 and γ_eq(S) = 4 for the right-hand model."""
+        g = figure1_second()
+        assert g.n == 4
+        assert equal_domination_number(g) == 4
+        assert covering_numbers(g)[1] == 3  # cov_2
+
+    def test_figure1_star_numbers(self):
+        """Sec 3.2: the star model never beats the γ_eq bound."""
+        g = figure1_star()
+        n = g.n
+        gamma_eq = equal_domination_number(g)
+        covs = covering_numbers(g)
+        assert gamma_eq == n
+        for i in range(1, gamma_eq):
+            assert n - covs[i - 1] >= gamma_eq - i
+
+    def test_figure2_views(self):
+        g = figure2_graph()
+        assert g.in_neighbors(0) == (0, 2)
+        assert g.in_neighbors(1) == (0, 1)
+        assert g.in_neighbors(2) == (2,)

@@ -1,0 +1,175 @@
+"""Tests for homology and connectivity measurement.
+
+Ground truths: spheres (boundaries of simplexes), contractible complexes,
+wedges, disjoint unions, the 6-vertex projective plane (whose torsion makes
+GF(2) and rational Betti numbers differ — exactly the blind spot the two
+backends exist to bracket), and property-based backend cross-checks on
+torsion-free random complexes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Simplex,
+    SimplicialComplex,
+    betti_numbers,
+    boundary_matrix_gf2,
+    homological_connectivity,
+    is_homologically_k_connected,
+    rank_gf2,
+    reduced_betti_numbers,
+)
+
+
+def solid(*colors):
+    return Simplex((c, "v") for c in colors)
+
+
+def sphere(dim: int) -> SimplicialComplex:
+    """Boundary of a (dim+1)-simplex: the dim-sphere."""
+    return SimplicialComplex.from_simplices(solid(*range(dim + 2)).boundary())
+
+
+# The minimal 6-vertex triangulation of the real projective plane: every
+# edge of K6 lies in exactly two of these ten triangles, Euler char 1.
+RP2_TRIANGLES = [
+    (0, 1, 2), (0, 1, 3), (0, 2, 4), (0, 3, 5), (0, 4, 5),
+    (1, 2, 5), (1, 3, 4), (1, 4, 5), (2, 3, 4), (2, 3, 5),
+]
+
+
+def rp2() -> SimplicialComplex:
+    return SimplicialComplex.from_simplices(
+        solid(*t) for t in RP2_TRIANGLES
+    )
+
+
+class TestKnownSpaces:
+    def test_point(self):
+        c = SimplicialComplex([solid(0)])
+        assert reduced_betti_numbers(c) == (0,)
+        assert homological_connectivity(c) == math.inf
+
+    def test_solid_simplex_contractible(self):
+        c = SimplicialComplex([solid(0, 1, 2, 3)])
+        assert homological_connectivity(c) == math.inf
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_spheres(self, dim):
+        s = sphere(dim)
+        betti = reduced_betti_numbers(s)
+        assert betti[-1] == 1
+        assert all(b == 0 for b in betti[:-1])
+        assert homological_connectivity(s) == dim - 1
+
+    def test_two_points_disconnected(self):
+        c = SimplicialComplex([solid(0), solid(1)])
+        assert reduced_betti_numbers(c)[0] == 1
+        assert homological_connectivity(c) == -1
+
+    def test_empty_complex(self):
+        c = SimplicialComplex.empty()
+        assert homological_connectivity(c) == -2
+        assert betti_numbers(c) == ()
+
+    def test_wedge_of_two_circles(self):
+        c1 = list(solid(0, 1, 2).boundary())
+        c2 = list(solid(2, 3, 4).boundary())
+        c = SimplicialComplex.from_simplices(c1 + c2)
+        assert reduced_betti_numbers(c) == (0, 2)
+
+    def test_rp2_is_a_closed_pseudosurface(self):
+        """Sanity on the triangulation itself: each edge in two triangles."""
+        from collections import Counter
+
+        edges = Counter()
+        for t in RP2_TRIANGLES:
+            for a in range(3):
+                for b in range(a + 1, 3):
+                    edges[frozenset((t[a], t[b]))] += 1
+        assert len(edges) == 15
+        assert all(count == 2 for count in edges.values())
+        assert rp2().euler_characteristic() == 1
+
+    def test_rp2_torsion_separates_backends(self):
+        """H_*(RP²): GF(2) sees (1,1,1); the rationals see (1,0,0)."""
+        c = rp2()
+        assert betti_numbers(c, field="gf2") == (1, 1, 1)
+        assert betti_numbers(c, field="rational") == (1, 0, 0)
+
+
+class TestApi:
+    def test_unknown_field(self):
+        with pytest.raises(TopologyError):
+            betti_numbers(sphere(1), field="p-adic")
+
+    def test_boundary_matrix_dimensions(self):
+        s = sphere(1)  # hollow triangle: 3 vertices, 3 edges
+        cols = boundary_matrix_gf2(s, 1)
+        assert len(cols) == 3
+        assert rank_gf2(cols) == 2
+
+    def test_boundary_matrix_degree_zero(self):
+        s = sphere(1)
+        assert boundary_matrix_gf2(s, 0) == [1, 1, 1]
+
+    def test_boundary_matrix_out_of_range(self):
+        with pytest.raises(TopologyError):
+            boundary_matrix_gf2(sphere(1), 5)
+
+    def test_rank_gf2_simple(self):
+        assert rank_gf2([]) == 0
+        assert rank_gf2([0b01, 0b10, 0b11]) == 2
+
+    def test_is_k_connected_conventions(self):
+        s = sphere(1)
+        assert is_homologically_k_connected(s, -2)
+        assert is_homologically_k_connected(s, -1)
+        assert is_homologically_k_connected(s, 0)
+        assert not is_homologically_k_connected(s, 1)
+        assert not is_homologically_k_connected(
+            SimplicialComplex.empty(), -1
+        )
+        assert is_homologically_k_connected(SimplicialComplex.empty(), -2)
+
+
+def random_two_complexes():
+    """Random 2-complexes on ≤5 vertices — too small to carry torsion."""
+
+    @st.composite
+    def build(draw):
+        triangles = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)
+                ).filter(lambda t: len(set(t)) == 3),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        return SimplicialComplex.from_simplices(
+            solid(*t) for t in triangles
+        )
+
+    return build()
+
+
+class TestBackendsAgree:
+    @given(random_two_complexes())
+    @settings(max_examples=40, deadline=None)
+    def test_gf2_matches_rational_without_torsion(self, c):
+        assert betti_numbers(c, "gf2") == betti_numbers(c, "rational")
+
+    @given(random_two_complexes())
+    @settings(max_examples=40, deadline=None)
+    def test_euler_characteristic_from_betti(self, c):
+        betti = betti_numbers(c, "rational")
+        euler = sum((-1) ** d * b for d, b in enumerate(betti))
+        assert euler == c.euler_characteristic()

@@ -1,0 +1,151 @@
+"""Cross-module integration tests: the theorems against each other.
+
+These tests tie the whole pipeline together on randomly drawn models:
+bounds from graph numbers, algorithms from the bounds, executions from the
+models, exact searches as ground truth — all mutually consistent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreement import FloodMin, KSetAgreement, MinOfDominatingSet
+from repro.bounds import bound_report, lower_bound_simple, upper_bound_simple
+from repro.combinatorics import (
+    covering_number,
+    distributed_domination_number,
+    equal_domination_number,
+    equal_domination_number_of_set,
+)
+from repro.graphs import (
+    Digraph,
+    domination_number,
+    graph_power,
+    random_digraph,
+    symmetric_closure,
+)
+from repro.models import simple_closed_above, symmetric_closed_above
+from repro.topology import (
+    homological_connectivity,
+    input_complex,
+    one_round_protocol_complex,
+)
+from repro.verification import (
+    analyze_tightness,
+    decide_one_round_solvability,
+    verify_algorithm,
+)
+
+
+def seeded_graphs(n: int, count: int, p: float = 0.4) -> list[Digraph]:
+    rng = random.Random(987)
+    return [random_digraph(n, rng, p) for _ in range(count)]
+
+
+class TestNumberHierarchy:
+    """γ ≤ γ_dist ≤ γ_eq and friends, on random graphs."""
+
+    @pytest.mark.parametrize("g", seeded_graphs(5, 8))
+    def test_gamma_chain(self, g):
+        gamma = domination_number(g)
+        gamma_eq = equal_domination_number(g)
+        assert gamma <= gamma_eq
+        sym = sorted(symmetric_closure([g]))
+        gamma_dist = distributed_domination_number(sym)
+        assert gamma_dist <= equal_domination_number_of_set(sym)
+
+    @pytest.mark.parametrize("g", seeded_graphs(5, 8))
+    def test_covering_bounded_by_out_degrees(self, g):
+        for i in (1, 2):
+            cov = covering_number(g, i)
+            assert i <= cov <= g.n
+
+
+class TestBoundsVsExactSearch:
+    """The paper's interval must contain the exact frontier (n = 3)."""
+
+    @pytest.mark.parametrize("g", seeded_graphs(3, 10, p=0.35))
+    def test_interval_brackets_exact(self, g):
+        model = symmetric_closed_above([g])
+        analysis = analyze_tightness(model)
+        assert analysis.upper_sound, analysis.describe()
+        assert analysis.lower_sound, analysis.describe()
+
+    @pytest.mark.parametrize("g", seeded_graphs(3, 6, p=0.5))
+    def test_simple_models_thm32_51_tight(self, g):
+        """For simple closed-above models the γ(G) bracket is exact."""
+        gamma = domination_number(g)
+        upper = upper_bound_simple(g)
+        lower = lower_bound_simple(g)
+        assert upper.k == gamma and lower.k == gamma - 1
+        # Exact check on the full (small) closure.
+        model = simple_closed_above(g)
+        graphs = sorted(model.iter_graphs())
+        assert decide_one_round_solvability(graphs, gamma).solvable
+        if gamma > 1:
+            assert not decide_one_round_solvability(graphs, gamma - 1).solvable
+
+
+class TestAlgorithmsRealiseBounds:
+    @pytest.mark.parametrize("g", seeded_graphs(4, 5, p=0.3))
+    def test_min_dominating_achieves_gamma(self, g):
+        gamma = domination_number(g)
+        model = simple_closed_above(g)
+        task = KSetAgreement(gamma, range(gamma + 1))
+        report = verify_algorithm(
+            MinOfDominatingSet(g), model, task, superset_samples=3
+        )
+        assert report.ok
+
+    @pytest.mark.parametrize("g", seeded_graphs(4, 5, p=0.3))
+    def test_floodmin_achieves_gamma_eq(self, g):
+        sym = symmetric_closed_above([g])
+        gamma_eq = equal_domination_number_of_set(sorted(sym.generators))
+        if gamma_eq >= g.n:
+            pytest.skip("vacuous bound: everyone may decide apart")
+        task = KSetAgreement(gamma_eq, range(gamma_eq + 1))
+        report = verify_algorithm(FloodMin(1), sym, task, superset_samples=2)
+        assert report.ok
+
+
+class TestTopologyPredictsSearch:
+    """Protocol-complex connectivity and CSP impossibility must agree."""
+
+    @pytest.mark.parametrize("g", seeded_graphs(3, 5, p=0.4))
+    def test_connectivity_implies_unsat(self, g):
+        model = symmetric_closed_above([g])
+        graphs = sorted(model.iter_graphs())
+        k_values = model.n  # n values suffice for any k < n
+        inputs = input_complex(model.n, tuple(range(k_values)))
+        protocol = one_round_protocol_complex(graphs, inputs)
+        connectivity = homological_connectivity(protocol)
+        # If the complex is c-connected, (c+1)-set agreement should be
+        # unsolvable — checked against the exact search.
+        if connectivity >= 0 and connectivity + 1 < model.n:
+            k = int(connectivity) + 1
+            result = decide_one_round_solvability(graphs, k)
+            assert not result.solvable, (
+                f"protocol complex {connectivity}-connected but "
+                f"{k}-set agreement SAT on {sorted(g.proper_edges())}"
+            )
+
+
+class TestMultiRoundConsistency:
+    @pytest.mark.parametrize("g", seeded_graphs(4, 4, p=0.3))
+    def test_power_bounds_monotone(self, g):
+        """γ(G^r) is non-increasing and the report brackets stay ordered."""
+        previous = None
+        for r in (1, 2, 3):
+            gamma_r = domination_number(graph_power(g, r))
+            if previous is not None:
+                assert gamma_r <= previous
+            previous = gamma_r
+
+    @pytest.mark.parametrize("g", seeded_graphs(4, 3, p=0.4))
+    def test_report_upper_at_least_one(self, g):
+        report = bound_report([g], rounds=2)
+        assert report.best_upper.k >= 1

@@ -1,0 +1,99 @@
+"""Tests for graph distance metrics and their link to flooding rounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.combinatorics import rounds_to_reach_all
+from repro.errors import GraphError
+from repro.graphs import (
+    Digraph,
+    bidirectional_cycle,
+    complete_graph,
+    cycle,
+    diameter,
+    distance,
+    distances_from,
+    eccentricity,
+    flooding_rounds,
+    graph_power,
+    path,
+    radius,
+    star,
+    transitive_closure,
+)
+from tests.test_digraph import random_digraphs
+
+
+class TestDistances:
+    def test_cycle(self):
+        g = cycle(5)
+        assert distances_from(g, 0) == [0, 1, 2, 3, 4]
+        assert distance(g, 0, 3) == 3
+
+    def test_unreachable(self):
+        g = path(3)
+        assert distance(g, 2, 0) is None
+        assert distances_from(g, 2) == [None, None, 0]
+
+    def test_self_distance_zero(self):
+        assert distance(complete_graph(4), 2, 2) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphError):
+            distances_from(cycle(3), 5)
+        with pytest.raises(GraphError):
+            distance(cycle(3), 0, 5)
+
+
+class TestEccentricityRadiusDiameter:
+    def test_star_radius_one(self):
+        g = star(5, 2)
+        assert eccentricity(g, 2) == 1
+        assert radius(g) == 1
+        assert diameter(g) is None  # leaves reach nobody
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle(6)) == 5
+        assert radius(cycle(6)) == 5
+
+    def test_bidirectional_cycle(self):
+        assert diameter(bidirectional_cycle(6)) == 3
+
+    def test_clique(self):
+        assert diameter(complete_graph(4)) == 1
+        assert flooding_rounds(complete_graph(4)) == 1
+
+
+class TestFloodingConnection:
+    def test_power_at_diameter_is_clique(self):
+        for g in (cycle(5), bidirectional_cycle(7)):
+            d = diameter(g)
+            assert graph_power(g, d) == complete_graph(g.n)
+            assert graph_power(g, d - 1) != complete_graph(g.n)
+
+    def test_covering_sequence_bounded_by_diameter(self):
+        """rounds_to_reach_all(G, 1) equals the worst single-source
+        flooding time when finite — i.e. the diameter."""
+        for g in (cycle(4), cycle(6), bidirectional_cycle(6)):
+            assert rounds_to_reach_all(g, 1) == diameter(g)
+
+    @given(random_digraphs(5))
+    def test_distances_consistent_with_powers(self, g):
+        tc = transitive_closure(g)
+        for u in g.processes():
+            dists = distances_from(g, u)
+            for v in g.processes():
+                reachable = tc.has_edge(u, v)
+                assert (dists[v] is not None) == reachable
+                if dists[v] is not None and dists[v] > 0:
+                    assert graph_power(g, dists[v]).has_edge(u, v)
+                    if dists[v] > 1:
+                        assert not graph_power(g, dists[v] - 1).has_edge(u, v)
+
+    @given(random_digraphs(5))
+    def test_radius_le_diameter(self, g):
+        r, d = radius(g), diameter(g)
+        if r is not None and d is not None:
+            assert r <= d

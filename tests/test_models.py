@@ -1,0 +1,191 @@
+"""Tests for communication models (Defs 2.1-2.4) and adversaries."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.graphs import (
+    Digraph,
+    complete_graph,
+    cycle,
+    has_nonempty_kernel,
+    is_non_split,
+    is_tournament,
+    star,
+    union_of_stars,
+    wheel,
+)
+from repro.models import (
+    ClosedAboveModel,
+    ExplicitObliviousModel,
+    FixedSequenceAdversary,
+    MinimalGraphAdversary,
+    NonSplitModel,
+    RandomAdversary,
+    TournamentModel,
+    nonempty_kernel_model,
+    simple_closed_above,
+    symmetric_closed_above,
+    tournament_closed_above,
+)
+
+
+class TestExplicitOblivious:
+    def test_membership(self):
+        m = ExplicitObliviousModel([cycle(3), complete_graph(3)])
+        assert m.allows_graph(cycle(3))
+        assert not m.allows_graph(star(3, 0))
+
+    def test_round_independence(self):
+        m = ExplicitObliviousModel([cycle(3)])
+        assert m.allows(cycle(3), 0) and m.allows(cycle(3), 99)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            ExplicitObliviousModel([])
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ModelError):
+            ExplicitObliviousModel([cycle(3), cycle(4)])
+
+    def test_sampling(self, rng):
+        m = ExplicitObliviousModel([cycle(3), complete_graph(3)])
+        for _ in range(10):
+            assert m.allows_graph(m.sample_graph(rng))
+
+    def test_sample_execution(self, rng):
+        m = ExplicitObliviousModel([cycle(3)])
+        seq = m.sample_execution(5, rng)
+        assert len(seq) == 5
+        assert m.admits_sequence(seq)
+
+    def test_negative_rounds_rejected(self, rng):
+        m = ExplicitObliviousModel([cycle(3)])
+        with pytest.raises(ModelError):
+            m.sample_execution(-1, rng)
+
+
+class TestClosedAbove:
+    def test_simple(self, wheel4):
+        m = simple_closed_above(wheel4)
+        assert m.is_simple
+        assert m.generator == wheel4
+        assert m.allows_graph(wheel4)
+        assert m.allows_graph(complete_graph(4))
+        assert not m.allows_graph(Digraph.empty(4))
+
+    def test_generators_normalised(self):
+        g = cycle(4)
+        bigger = g.with_edges([(0, 2)])
+        m = ClosedAboveModel([g, bigger])
+        assert m.generators == frozenset({g})
+        assert m.is_simple
+
+    def test_generator_property_guard(self):
+        m = symmetric_closed_above([star(3, 0)])
+        assert not m.is_simple
+        with pytest.raises(ModelError):
+            _ = m.generator
+
+    def test_symmetric(self):
+        m = symmetric_closed_above([star(4, 0)])
+        assert m.is_symmetric()
+        assert len(m.generators) == 4
+
+    def test_symmetrized(self):
+        m = simple_closed_above(star(4, 1))
+        sym = m.symmetrized()
+        assert sym.is_symmetric()
+        assert m.generators < sym.generators
+
+    def test_wrong_size_graph_not_allowed(self):
+        m = simple_closed_above(cycle(3))
+        assert not m.allows_graph(cycle(4))
+
+    def test_sampling_stays_in_model(self, rng):
+        m = symmetric_closed_above([cycle(4)])
+        for _ in range(25):
+            assert m.allows_graph(m.sample_graph(rng))
+
+    def test_minimal_sampling(self, rng):
+        m = symmetric_closed_above([cycle(4)])
+        for _ in range(10):
+            assert m.sample_minimal_graph(rng) in m.generators
+
+    def test_iter_graphs_small(self):
+        m = simple_closed_above(cycle(3))
+        graphs = list(m.iter_graphs())
+        assert len(graphs) == 8
+        assert all(m.allows_graph(g) for g in graphs)
+
+
+class TestHeardOf:
+    def test_kernel_model_graphs_have_kernels(self, rng):
+        m = nonempty_kernel_model(4)
+        for _ in range(10):
+            assert has_nonempty_kernel(m.sample_graph(rng))
+
+    def test_kernel_model_membership(self):
+        m = nonempty_kernel_model(4)
+        assert m.allows_graph(star(4, 2))
+        assert not m.allows_graph(cycle(4))
+
+    def test_non_split_model(self, rng):
+        m = NonSplitModel(4)
+        assert m.allows_graph(star(4, 0))
+        assert not m.allows_graph(Digraph.empty(4))
+        for _ in range(5):
+            assert is_non_split(m.sample_graph(rng))
+
+    def test_tournament_model(self, rng):
+        m = TournamentModel(4)
+        assert m.allows_graph(cycle(3).with_edges([])) is False  # wrong n
+        for _ in range(5):
+            assert is_tournament(m.sample_graph(rng))
+
+    def test_tournament_antichain_not_closed_above(self):
+        m = TournamentModel(3)
+        t = cycle(3)  # a 3-cycle is a tournament
+        assert m.allows_graph(t)
+        assert not m.allows_graph(complete_graph(3))
+
+    def test_tournament_closed_above_relaxation(self):
+        m = tournament_closed_above(3)
+        assert m.allows_graph(cycle(3))
+        assert m.allows_graph(complete_graph(3))
+
+    def test_tournament_closed_above_validation(self):
+        with pytest.raises(ModelError):
+            tournament_closed_above(1)
+
+
+class TestAdversaries:
+    def test_fixed_sequence(self):
+        adv = FixedSequenceAdversary([cycle(3), complete_graph(3)])
+        assert adv.graph_for_round(0) == cycle(3)
+        assert adv.graph_for_round(1) == complete_graph(3)
+        assert adv.graph_for_round(7) == complete_graph(3)  # repeats last
+
+    def test_fixed_sequence_validated_against_model(self):
+        m = simple_closed_above(star(3, 0))
+        with pytest.raises(ModelError):
+            FixedSequenceAdversary([cycle(3)], model=m)
+
+    def test_fixed_sequence_empty_rejected(self):
+        with pytest.raises(ModelError):
+            FixedSequenceAdversary([])
+
+    def test_random_adversary(self, rng):
+        m = symmetric_closed_above([star(3, 0)])
+        adv = RandomAdversary(m, rng)
+        for r in range(5):
+            assert m.allows_graph(adv.graph_for_round(r))
+
+    def test_minimal_adversary(self, rng):
+        m = symmetric_closed_above([union_of_stars(4, (0, 1))])
+        adv = MinimalGraphAdversary(m, rng)
+        for r in range(5):
+            assert adv.graph_for_round(r) in m.generators

@@ -1,0 +1,132 @@
+"""Tests for graph operations, centred on the path product (Def 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Digraph,
+    complete_graph,
+    cycle,
+    empty_graph,
+    graph_power,
+    intersection,
+    path_product,
+    set_power,
+    set_product,
+    star,
+    transitive_closure,
+    union,
+)
+from tests.test_digraph import random_digraphs
+
+
+class TestUnionIntersection:
+    def test_union(self):
+        a = Digraph.from_edges(3, [(0, 1)])
+        b = Digraph.from_edges(3, [(1, 2)])
+        assert union(a, b) == Digraph.from_edges(3, [(0, 1), (1, 2)])
+
+    def test_intersection(self):
+        a = Digraph.from_edges(3, [(0, 1), (1, 2)])
+        b = Digraph.from_edges(3, [(0, 1)])
+        assert intersection(a, b) == b
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(GraphError):
+            union(Digraph.empty(2), Digraph.empty(3))
+
+    def test_no_graphs_rejected(self):
+        with pytest.raises(GraphError):
+            union()
+
+
+class TestPathProduct:
+    def test_definition_on_example(self):
+        # 0 -> 1 in G, 1 -> 2 in H  =>  0 -> 2 in G ⊗ H.
+        g = Digraph.from_edges(3, [(0, 1)])
+        h = Digraph.from_edges(3, [(1, 2)])
+        p = path_product(g, h)
+        assert p.has_edge(0, 2)
+
+    def test_contains_both_factors(self):
+        """Self-loops make G ⊗ H ⊇ G ∪ H (idle a round at either end)."""
+        g = Digraph.from_edges(4, [(0, 1), (2, 3)])
+        h = Digraph.from_edges(4, [(1, 2)])
+        p = path_product(g, h)
+        assert g.is_subgraph_of(p)
+        assert h.is_subgraph_of(p)
+
+    def test_identity_is_empty_graph(self):
+        g = Digraph.from_edges(3, [(0, 1), (1, 2)])
+        e = empty_graph(3)
+        assert path_product(g, e) == g
+        assert path_product(e, g) == g
+
+    def test_clique_absorbs(self):
+        g = Digraph.from_edges(3, [(0, 1)])
+        k = complete_graph(3)
+        assert path_product(g, k) == k
+        assert path_product(k, g) == k
+
+    def test_cycle_squared(self):
+        c = cycle(6)
+        squared = graph_power(c, 2)
+        for u in range(6):
+            assert squared.has_edge(u, (u + 1) % 6)
+            assert squared.has_edge(u, (u + 2) % 6)
+        assert squared.proper_edge_count == 12
+
+    def test_power_one_is_identity(self):
+        c = cycle(5)
+        assert graph_power(c, 1) == c
+
+    def test_power_validation(self):
+        with pytest.raises(GraphError):
+            graph_power(cycle(3), 0)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            path_product(Digraph.empty(2), Digraph.empty(3))
+
+    def test_star_idempotent(self):
+        """Appendix G: star graphs are idempotent under the product."""
+        s = star(5, 2)
+        assert path_product(s, s) == s
+
+    @given(random_digraphs(4))
+    def test_product_monotone(self, g):
+        """More edges in a factor only add edges to the product."""
+        bigger = g.with_edges([(0, g.n - 1)])
+        assert path_product(g, g).is_subgraph_of(path_product(bigger, bigger))
+
+    @given(random_digraphs(4))
+    def test_power_reaches_transitive_closure(self, g):
+        tc = transitive_closure(g)
+        assert graph_power(g, g.n).is_subgraph_of(tc)
+        assert tc == graph_power(tc, 2)
+
+
+class TestSetProducts:
+    def test_set_product_size(self):
+        s = {cycle(4), star(4, 0)}
+        prod = set_product(s, s)
+        assert 1 <= len(prod) <= 4
+
+    def test_set_power_contains_generators_when_idempotent(self):
+        """S ⊆ S^r for star sets (Appendix G's first equality)."""
+        s = frozenset({star(4, 0), star(4, 1)})
+        power = set_power(s, 2)
+        assert s <= power
+
+    def test_set_power_validation(self):
+        with pytest.raises(GraphError):
+            set_power([], 2)
+        with pytest.raises(GraphError):
+            set_power([cycle(3)], 0)
+
+    def test_set_product_empty_rejected(self):
+        with pytest.raises(GraphError):
+            set_product([], [cycle(3)])

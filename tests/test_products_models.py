@@ -1,0 +1,76 @@
+"""Tests for multi-round product models (Sec 6.1, Lemma 6.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.graphs import (
+    cycle,
+    graph_power,
+    in_upward_closure,
+    path_product,
+    sample_superset,
+    star,
+)
+from repro.models import (
+    closure_product_gap,
+    is_realisable_product,
+    product_model,
+    round_product_generators,
+    simple_closed_above,
+    symmetric_closed_above,
+)
+
+
+class TestProductModel:
+    def test_simple_power(self):
+        m = simple_closed_above(cycle(4))
+        m2 = product_model(m, 2)
+        assert m2.is_simple
+        assert m2.generator == graph_power(cycle(4), 2)
+
+    def test_round_validation(self):
+        m = simple_closed_above(cycle(4))
+        with pytest.raises(ModelError):
+            product_model(m, 0)
+
+    def test_generators_of_symmetric_power(self):
+        m = symmetric_closed_above([star(3, 0)])
+        gens = round_product_generators(m.generators, 2)
+        # Star products collapse: star ⊗ star' covers everything from the
+        # first star's centre, so the set stays small.
+        assert all(g.n == 3 for g in gens)
+
+    def test_lemma_6_2_inclusion(self):
+        """↑G ⊗ ↑H ⊆ ↑(G ⊗ H), checked by sampling."""
+        rng = random.Random(3)
+        g, h = cycle(5), cycle(5)
+        target = path_product(g, h)
+        for _ in range(25):
+            gp = sample_superset(g, rng)
+            hp = sample_superset(h, rng)
+            assert in_upward_closure(path_product(gp, hp), target)
+
+
+class TestClosureProductGap:
+    def test_cycle6_gap_exists(self):
+        """Sec 6.1: ↑C6 ⊗ ↑C6 ⊊ ↑(C6 ⊗ C6)."""
+        witnesses = closure_product_gap(cycle(6), cycle(6), max_witnesses=1)
+        assert witnesses
+        target = witnesses[0]
+        squared = graph_power(cycle(6), 2)
+        assert in_upward_closure(target, squared)
+        assert not is_realisable_product(target, cycle(6), cycle(6))
+
+    def test_product_itself_realisable(self):
+        g = cycle(4)
+        assert is_realisable_product(graph_power(g, 2), g, g)
+
+    def test_no_gap_for_cliques(self):
+        from repro.graphs import complete_graph
+
+        k = complete_graph(3)
+        assert closure_product_gap(k, k) == []

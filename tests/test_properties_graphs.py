@@ -1,0 +1,99 @@
+"""Tests for structural graph predicates (Sec 2.1 example models)."""
+
+from __future__ import annotations
+
+from repro.graphs import (
+    Digraph,
+    bidirectional_cycle,
+    complete_graph,
+    contains_spanning_star,
+    cycle,
+    has_nonempty_kernel,
+    is_non_split,
+    is_strongly_connected,
+    is_tournament,
+    is_weakly_connected,
+    kernel,
+    min_in_degree,
+    min_out_degree,
+    path,
+    sink_processes,
+    source_processes,
+    star,
+    tournament,
+    union_of_stars,
+)
+
+
+class TestKernel:
+    def test_star_kernel(self):
+        assert kernel(star(4, 2)) == 1 << 2
+        assert has_nonempty_kernel(star(4, 2))
+        assert contains_spanning_star(star(4, 2))
+
+    def test_cycle_has_no_kernel(self):
+        assert kernel(cycle(4)) == 0
+        assert not has_nonempty_kernel(cycle(4))
+
+    def test_union_of_stars_kernel_members(self):
+        g = union_of_stars(5, (0, 4))
+        assert kernel(g) == (1 << 0) | (1 << 4)
+
+
+class TestNonSplit:
+    def test_star_is_non_split(self):
+        # Every pair hears the centre.
+        assert is_non_split(star(5, 0))
+
+    def test_empty_graph_is_split(self):
+        assert not is_non_split(Digraph.empty(3))
+
+    def test_clique_is_non_split(self):
+        assert is_non_split(complete_graph(4))
+
+    def test_cycle_is_split(self):
+        # In C4, processes 0 and 2 hear {3,0} and {1,2}: disjoint.
+        assert not is_non_split(cycle(4))
+
+
+class TestTournament:
+    def test_canonical_tournament(self):
+        assert is_tournament(tournament(5))
+
+    def test_cycle3_is_tournament(self):
+        assert is_tournament(cycle(3))
+
+    def test_cycle4_is_not(self):
+        assert not is_tournament(cycle(4))
+
+    def test_clique_is_not(self):
+        assert not is_tournament(complete_graph(3))
+
+
+class TestConnectivity:
+    def test_cycle_strong(self):
+        assert is_strongly_connected(cycle(5))
+
+    def test_path_weak_only(self):
+        assert not is_strongly_connected(path(4))
+        assert is_weakly_connected(path(4))
+
+    def test_disconnected(self):
+        g = Digraph.from_edges(4, [(0, 1), (2, 3)])
+        assert not is_weakly_connected(g)
+
+    def test_bidirectional_cycle(self):
+        assert is_strongly_connected(bidirectional_cycle(5))
+
+
+class TestDegreesAndSources:
+    def test_sources_and_sinks(self):
+        g = Digraph.from_edges(3, [(0, 1), (0, 2)])
+        assert source_processes(g) == 1 << 0  # 0 hears only itself
+        assert sink_processes(g) == (1 << 1) | (1 << 2)
+
+    def test_min_degrees(self):
+        g = star(4, 0)
+        assert min_out_degree(g) == 1  # leaves reach only themselves
+        assert min_in_degree(g) == 1  # the centre hears only itself
+        assert min_in_degree(complete_graph(3)) == 3

@@ -1,0 +1,127 @@
+"""Tests for pseudospheres (Def 4.5, Lemmas 4.6, 4.7)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Pseudosphere,
+    homological_connectivity,
+    predicted_connectivity,
+    pseudosphere_complex,
+    reduced_betti_numbers,
+)
+
+
+class TestConstruction:
+    def test_empty_processes_rejected(self):
+        with pytest.raises(TopologyError):
+            Pseudosphere({})
+
+    def test_uniform(self):
+        ps = Pseudosphere.uniform((0, 1), ("a", "b"))
+        assert ps.views_of(0) == frozenset({"a", "b"})
+        assert ps.facet_count() == 4
+
+    def test_unknown_process(self):
+        ps = Pseudosphere({0: {"a"}})
+        with pytest.raises(TopologyError):
+            ps.views_of(9)
+
+    def test_figure3b(self):
+        """Fig 3b: P1, P2 with {v1, v2}, P3 with {v}."""
+        ps = Pseudosphere(
+            {"P1": {"v1", "v2"}, "P2": {"v1", "v2"}, "P3": {"v"}}
+        )
+        c = ps.to_complex()
+        assert len(c) == 4
+        assert c.dimension == 2
+        # One component has a single view => cone => contractible.
+        assert ps.predicted_connectivity() == math.inf
+        assert homological_connectivity(c) == math.inf
+
+    def test_void(self):
+        ps = Pseudosphere({0: set(), 1: set()})
+        assert ps.is_void()
+        assert ps.facet_count() == 0
+        assert ps.to_complex().is_empty()
+        assert ps.predicted_connectivity() == -2
+
+    def test_mixed_empty_component_drops_process(self):
+        ps = Pseudosphere({0: {"a", "b"}, 1: set()})
+        c = ps.to_complex()
+        assert c.dimension == 0
+        assert len(c.vertices) == 2
+
+
+class TestLemma46Intersection:
+    def test_componentwise(self):
+        a = Pseudosphere({0: {"a", "b"}, 1: {"x", "y"}})
+        b = Pseudosphere({0: {"b", "c"}, 1: {"x"}})
+        inter = a.intersection(b)
+        assert inter.views_of(0) == frozenset({"b"})
+        assert inter.views_of(1) == frozenset({"x"})
+
+    def test_complexes_agree(self):
+        """The symbolic Lemma 4.6 matches materialised intersection."""
+        a = Pseudosphere({0: {"a", "b"}, 1: {"x", "y"}, 2: {"m", "n"}})
+        b = Pseudosphere({0: {"b"}, 1: {"x", "y"}, 2: {"n", "o"}})
+        assert (
+            a.intersection(b).to_complex()
+            == a.to_complex().intersection(b.to_complex())
+        )
+
+    def test_mismatched_processes_rejected(self):
+        a = Pseudosphere({0: {"a"}})
+        b = Pseudosphere({1: {"a"}})
+        with pytest.raises(TopologyError):
+            a.intersection(b)
+
+
+class TestLemma47Connectivity:
+    @pytest.mark.parametrize("n,v", [(2, 2), (2, 3), (3, 2), (3, 3), (4, 2)])
+    def test_measured_matches_prediction(self, n, v):
+        """φ(n processes, v ≥ 2 views) is exactly (n-2)-connected: it is a
+        join of n discrete sets, a wedge of (n-1)-spheres."""
+        ps = Pseudosphere.uniform(tuple(range(n)), tuple(range(v)))
+        c = ps.to_complex()
+        assert ps.predicted_connectivity() == n - 2
+        assert homological_connectivity(c) == n - 2
+        # Top reduced Betti number of a join of discrete sets: prod(|Vi|-1).
+        betti = reduced_betti_numbers(c)
+        assert betti[-1] == (v - 1) ** n
+
+    def test_helper_function(self):
+        assert predicted_connectivity([{1, 2}, {1, 2}, {1, 2}]) == 1
+        assert predicted_connectivity([set(), set()]) == -2
+
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 3), min_size=2, max_size=3),
+            min_size=2,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lemma_holds_on_random_pseudospheres(self, view_sets):
+        ps = Pseudosphere({i: vs for i, vs in enumerate(view_sets)})
+        c = ps.to_complex()
+        assert homological_connectivity(c) >= ps.predicted_connectivity()
+
+
+class TestHelpers:
+    def test_pseudosphere_complex_length_mismatch(self):
+        with pytest.raises(TopologyError):
+            pseudosphere_complex((0, 1), [{1}])
+
+    def test_equality_and_repr(self):
+        a = Pseudosphere({0: {"a"}})
+        b = Pseudosphere({0: {"a"}})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert "Pseudosphere" in repr(a)

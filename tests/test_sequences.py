@@ -1,0 +1,91 @@
+"""Tests for covering-number sequences (Defs 6.6, 6.8; Thms 6.7, 6.9)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.combinatorics import (
+    covering_sequence,
+    covering_sequence_of_set,
+    rounds_to_reach_all,
+    rounds_to_reach_all_of_set,
+)
+from repro.errors import GraphError
+from repro.graphs import (
+    Digraph,
+    complete_graph,
+    cycle,
+    star,
+    symmetric_closure,
+    union_of_stars,
+)
+from tests.test_digraph import random_digraphs
+
+
+class TestSingleGraph:
+    def test_clique_floods_instantly(self):
+        assert covering_sequence(complete_graph(4), 1) == [4]
+        assert rounds_to_reach_all(complete_graph(4), 1) == 1
+
+    def test_cycle_progression(self):
+        # In C_n a single process reaches one extra listener per round.
+        seq = covering_sequence(cycle(5), 1)
+        assert seq == [2, 3, 4, 5]
+        assert rounds_to_reach_all(cycle(5), 1) == 4
+
+    def test_cycle_higher_i(self):
+        seq = covering_sequence(cycle(6), 2)
+        assert seq[0] >= 3
+        assert seq[-1] == 6
+
+    def test_star_stalls_for_leaves(self):
+        # cov_1(star) = 1 = i: a silent leaf never spreads.
+        assert rounds_to_reach_all(star(4, 0), 1) is None
+        seq = covering_sequence(star(4, 0), 1)
+        assert seq == [1]
+
+    def test_max_rounds_truncation(self):
+        seq = covering_sequence(cycle(6), 1, max_rounds=2)
+        assert len(seq) == 2
+
+    def test_bad_index(self):
+        with pytest.raises(GraphError):
+            covering_sequence(cycle(3), 0)
+
+    @given(random_digraphs(5))
+    def test_sequence_nondecreasing(self, g):
+        seq = covering_sequence(g, 1)
+        assert all(a <= b for a, b in zip(seq, seq[1:]))
+
+    @given(random_digraphs(5))
+    def test_reach_all_consistency(self, g):
+        rounds = rounds_to_reach_all(g, 1)
+        seq = covering_sequence(g, 1)
+        if rounds is None:
+            assert seq[-1] < g.n
+        else:
+            assert seq[-1] == g.n
+            assert len(seq) == rounds
+
+
+class TestGraphSets:
+    def test_set_sequence_pessimistic(self):
+        s = [cycle(5), complete_graph(5)]
+        # min over graphs: the cycle bounds the progression.
+        assert covering_sequence_of_set(s, 1) == covering_sequence(cycle(5), 1)
+
+    def test_symmetric_stars_stall(self):
+        sym = sorted(symmetric_closure([union_of_stars(4, (0,))]))
+        assert rounds_to_reach_all_of_set(sym, 1) is None
+
+    def test_set_reaches(self):
+        sym = sorted(symmetric_closure([cycle(4)]))
+        rounds = rounds_to_reach_all_of_set(sym, 1)
+        assert rounds == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            covering_sequence_of_set([], 1)
+        with pytest.raises(GraphError):
+            rounds_to_reach_all_of_set([], 1)

@@ -1,0 +1,113 @@
+"""Tests for colored simplexes (Def 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import Simplex, stable_key
+
+
+def simplexes(max_colors: int = 5):
+    @st.composite
+    def build(draw):
+        colors = draw(
+            st.lists(
+                st.integers(0, max_colors - 1), unique=True, max_size=max_colors
+            )
+        )
+        return Simplex((c, draw(st.sampled_from("abc"))) for c in colors)
+
+    return build()
+
+
+class TestConstruction:
+    def test_dimension(self):
+        assert Simplex.empty().dimension == -1
+        assert Simplex([(0, "a")]).dimension == 0
+        assert Simplex([(0, "a"), (1, "b")]).dimension == 1
+
+    def test_chromatic_enforced(self):
+        with pytest.raises(TopologyError):
+            Simplex([(0, "a"), (0, "b")])
+
+    def test_duplicate_vertices_collapse(self):
+        s = Simplex([(0, "a"), (0, "a")])
+        assert s.dimension == 0
+
+    def test_accessors(self):
+        s = Simplex([(0, "a"), (1, "b")])
+        assert s.colors() == {0, 1}
+        assert s.views() == {"a", "b"}
+        assert s.view_of(1) == "b"
+        assert s.has_color(0) and not s.has_color(2)
+
+    def test_view_of_missing_raises(self):
+        with pytest.raises(TopologyError):
+            Simplex([(0, "a")]).view_of(9)
+
+
+class TestFaces:
+    def test_boundary_of_triangle(self):
+        t = Simplex([(0, "a"), (1, "b"), (2, "c")])
+        edges = list(t.boundary())
+        assert len(edges) == 3
+        assert all(e.dimension == 1 for e in edges)
+
+    def test_all_faces_count(self):
+        t = Simplex([(0, "a"), (1, "b"), (2, "c")])
+        assert sum(1 for _ in t.faces()) == 8  # includes the empty simplex
+
+    def test_faces_fixed_dimension(self):
+        t = Simplex([(0, "a"), (1, "b"), (2, "c")])
+        assert sum(1 for _ in t.faces(0)) == 3
+        assert list(t.faces(5)) == []
+
+    def test_face_relation(self):
+        t = Simplex([(0, "a"), (1, "b")])
+        e = Simplex([(0, "a")])
+        assert e.is_face_of(t)
+        assert e <= t
+        assert not t.is_face_of(e)
+
+    def test_intersection_union(self):
+        a = Simplex([(0, "a"), (1, "b")])
+        b = Simplex([(1, "b"), (2, "c")])
+        assert a.intersection(b) == Simplex([(1, "b")])
+        assert a.union(b).dimension == 2
+
+    def test_union_conflict_rejected(self):
+        a = Simplex([(0, "a")])
+        b = Simplex([(0, "b")])
+        with pytest.raises(TopologyError):
+            a.union(b)
+
+    def test_without_color(self):
+        t = Simplex([(0, "a"), (1, "b")])
+        assert t.without_color(0) == Simplex([(1, "b")])
+
+
+class TestStableKey:
+    def test_orders_nested_frozensets(self):
+        views = [frozenset({1, 2}), frozenset({0}), frozenset()]
+        assert sorted(views, key=stable_key) == [
+            frozenset(),
+            frozenset({0}),
+            frozenset({1, 2}),
+        ]
+
+    def test_mixed_types_do_not_crash(self):
+        items = [1, "a", (2, 3), frozenset({4})]
+        sorted(items, key=stable_key)  # must not raise
+
+    @given(simplexes())
+    def test_iteration_is_sorted(self, s):
+        listed = list(s)
+        assert listed == sorted(listed, key=stable_key)
+
+    @given(simplexes(), simplexes())
+    def test_equality_and_hash(self, a, b):
+        if a.vertices == b.vertices:
+            assert a == b and hash(a) == hash(b)

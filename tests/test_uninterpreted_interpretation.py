@@ -1,0 +1,192 @@
+"""Tests for uninterpreted complexes (Defs 4.3/4.4, Lemma 4.8, Thm 4.12)
+and their interpretations (Defs 4.13/4.14)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TopologyError
+from repro.graphs import (
+    Digraph,
+    complete_graph,
+    cycle,
+    figure2_graph,
+    star,
+    symmetric_closure,
+    wheel,
+)
+from repro.topology import (
+    Simplex,
+    closed_above_pseudosphere,
+    closed_above_pseudosphere_cover,
+    connectivity_of_closed_above,
+    graph_interpretation_complex,
+    homological_connectivity,
+    input_complex,
+    input_pseudosphere,
+    interpret_complex,
+    interpret_simplex,
+    one_round_protocol_complex,
+    predicted_closed_above_connectivity,
+    uninterpreted_complex_of_closed_above,
+    uninterpreted_complex_of_graphs,
+    uninterpreted_simplex,
+    verify_lemma_4_8,
+)
+from tests.test_digraph import random_digraphs
+
+
+class TestUninterpretedSimplex:
+    def test_figure2(self):
+        sigma = uninterpreted_simplex(figure2_graph())
+        assert sigma.view_of(0) == frozenset({0, 2})
+        assert sigma.view_of(1) == frozenset({0, 1})
+        assert sigma.view_of(2) == frozenset({2})
+
+    def test_dimension_is_n_minus_1(self):
+        assert uninterpreted_simplex(cycle(4)).dimension == 3
+
+    def test_complex_of_explicit_graphs(self):
+        graphs = sorted(symmetric_closure([star(3, 0)]))
+        c = uninterpreted_complex_of_graphs(graphs)
+        assert len(c) == len(graphs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            uninterpreted_complex_of_graphs([])
+
+
+class TestLemma48:
+    @pytest.mark.parametrize(
+        "g", [figure2_graph(), cycle(3), star(3, 0), complete_graph(3)]
+    )
+    def test_on_named_graphs(self, g):
+        assert verify_lemma_4_8(g)
+
+    @given(random_digraphs(3))
+    @settings(max_examples=20, deadline=None)
+    def test_on_random_graphs(self, g):
+        assert verify_lemma_4_8(g)
+
+    def test_pseudosphere_views_are_upward_closures(self):
+        g = figure2_graph()
+        ps = closed_above_pseudosphere(g)
+        for p in range(g.n):
+            in_view = frozenset(g.in_neighbors(p))
+            for view in ps.views_of(p):
+                assert in_view <= view
+
+
+class TestTheorem412:
+    @pytest.mark.parametrize(
+        "generators",
+        [
+            [figure2_graph()],
+            [cycle(3)],
+            [cycle(4)],
+            [star(4, 0)],
+            sorted(symmetric_closure([cycle(3)])),
+            [cycle(4), wheel(4)],
+        ],
+    )
+    def test_connectivity_at_least_n_minus_2(self, generators):
+        n = generators[0].n
+        measured = connectivity_of_closed_above(generators)
+        assert measured >= n - 2
+        assert predicted_closed_above_connectivity(generators) == n - 2
+
+    def test_nerve_route_agrees(self):
+        generators = sorted(symmetric_closure([cycle(3)]))
+        nerve_value = connectivity_of_closed_above(generators, method="nerve")
+        assert nerve_value >= 1  # n - 2 with n = 3
+
+    def test_unknown_method(self):
+        with pytest.raises(TopologyError):
+            connectivity_of_closed_above([cycle(3)], method="magic")
+
+    def test_cover_cardinality(self):
+        generators = sorted(symmetric_closure([star(3, 0)]))
+        cover = closed_above_pseudosphere_cover(generators)
+        assert len(cover) == len(generators)
+
+
+class TestInterpretation:
+    def test_input_pseudosphere(self):
+        ps = input_pseudosphere(3, (0, 1))
+        assert ps.facet_count() == 8
+        assert ps.predicted_connectivity() == 1
+
+    def test_input_needs_values(self):
+        with pytest.raises(TopologyError):
+            input_pseudosphere(3, ())
+
+    def test_interpret_simplex_pairs_values(self):
+        g = figure2_graph()
+        sigma = uninterpreted_simplex(g)
+        tau = Simplex([(0, "x"), (1, "y"), (2, "z")])
+        interp = interpret_simplex(sigma, tau)
+        assert interp.view_of(0) == frozenset({(0, "x"), (2, "z")})
+        assert interp.view_of(2) == frozenset({(2, "z")})
+
+    def test_interpret_simplex_type_check(self):
+        bad = Simplex([(0, "not-a-frozenset")])
+        tau = Simplex([(0, "x")])
+        with pytest.raises(TopologyError):
+            interpret_simplex(bad, tau)
+
+    def test_graph_interpretation_facet_count(self):
+        g = complete_graph(2)
+        inputs = input_complex(2, (0, 1))
+        c = graph_interpretation_complex(g, inputs)
+        # Clique: both processes see everything; 4 input simplexes give 4
+        # fully-informed facets.
+        assert len(c) == 4
+
+    def test_one_round_protocol_complex_contains_all_graphs(self):
+        graphs = sorted(symmetric_closure([star(3, 0)]))
+        inputs = input_complex(3, (0, 1))
+        protocol = one_round_protocol_complex(graphs, inputs)
+        single = graph_interpretation_complex(graphs[0], inputs)
+        for facet in single.facets:
+            assert protocol.contains_simplex(facet)
+
+    def test_one_round_protocol_complex_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            one_round_protocol_complex([], input_complex(2, (0, 1)))
+
+    def test_interpret_complex_union(self):
+        graphs = [cycle(3), complete_graph(3)]
+        uninterp = uninterpreted_complex_of_graphs(graphs)
+        inputs = input_complex(3, (0, 1))
+        combined = interpret_complex(uninterp, inputs)
+        direct = one_round_protocol_complex(graphs, inputs)
+        assert combined == direct
+
+
+class TestProtocolComplexConnectivity:
+    """The punchline of Thm 5.4's proof: one-round protocol complexes of
+    closed-above models are highly connected, blocking k-set agreement."""
+
+    def test_clique_model_is_disconnected(self):
+        """With the clique as the only graph every process sees everything,
+        consensus is solvable, and accordingly the protocol complex falls
+        apart into one component per input simplex."""
+        inputs = input_complex(2, (0, 1))
+        protocol = one_round_protocol_complex([complete_graph(2)], inputs)
+        assert homological_connectivity(protocol) == -1
+        assert len(protocol) == 4  # one isolated edge per input assignment
+
+    def test_star_model_protocol_connected(self):
+        """Thm 5.4 on Sym(↑star(3)): l = 1, so the one-round protocol
+        complex over the *full* allowed graph set is 1-connected, which is
+        what makes 2-set agreement impossible (Thm 6.13 with s = 1)."""
+        from repro.models import symmetric_closed_above
+
+        model = symmetric_closed_above([star(3, 0)])
+        graphs = sorted(model.iter_graphs())
+        inputs = input_complex(3, (0, 1, 2))
+        protocol = one_round_protocol_complex(graphs, inputs)
+        assert homological_connectivity(protocol) >= 1

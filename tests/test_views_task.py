@@ -1,0 +1,142 @@
+"""Tests for views (Def 2.5) and the k-set agreement task."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreement import (
+    KSetAgreement,
+    flatten_view,
+    full_information_round,
+    initial_full_view,
+    initial_oblivious_view,
+    oblivious_round,
+    run_full_information,
+    run_oblivious,
+)
+from repro.errors import AlgorithmError
+from repro.graphs import complete_graph, cycle, star
+from tests.test_digraph import random_digraphs
+
+
+class TestFullInformation:
+    def test_one_round_views(self):
+        g = star(3, 0)
+        views = run_full_information({0: "a", 1: "b", 2: "c"}, [g])
+        # Leaf 1 hears the centre and itself.
+        assert views[1] == frozenset({(0, "a"), (1, "b")})
+
+    def test_nesting_grows(self):
+        g = complete_graph(2)
+        views = run_full_information({0: 0, 1: 1}, [g, g])
+        inner = views[0]
+        assert isinstance(inner, frozenset)
+        assert all(isinstance(sub, frozenset) for _, sub in inner)
+
+    def test_needs_rounds(self):
+        with pytest.raises(AlgorithmError):
+            run_full_information({0: 1}, [])
+
+    def test_input_coverage_checked(self):
+        with pytest.raises(AlgorithmError):
+            run_full_information({0: 1}, [complete_graph(2)])
+
+    def test_round_size_mismatch(self):
+        with pytest.raises(AlgorithmError):
+            full_information_round([1, 2], complete_graph(3))
+
+    def test_initial_full_view_is_raw(self):
+        assert initial_full_view(2, "payload") == "payload"
+
+
+class TestFlatten:
+    def test_flatten_one_round(self):
+        g = star(3, 0)
+        views = run_full_information({0: "a", 1: "b", 2: "c"}, [g])
+        assert flatten_view(views[2]) == frozenset({(0, "a"), (2, "c")})
+
+    def test_flatten_rejects_raw_value(self):
+        with pytest.raises(AlgorithmError):
+            flatten_view("raw")
+
+    @given(random_digraphs(4), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_flat_commutes_with_rounds(self, g, rounds):
+        """Def 2.5's key property: flattening a full-information view gives
+        exactly the oblivious propagation of (process, value) pairs."""
+        inputs = {p: p * 10 for p in range(g.n)}
+        graphs = [g] * rounds
+        full = run_full_information(inputs, graphs)
+        oblivious = run_oblivious(inputs, graphs)
+        for p in range(g.n):
+            assert flatten_view(full[p]) == oblivious[p]
+
+
+class TestObliviousPropagation:
+    def test_initial(self):
+        assert initial_oblivious_view(1, "x") == frozenset({(1, "x")})
+
+    def test_round_unions_in_neighbors(self):
+        g = cycle(3)
+        views = run_oblivious({0: "a", 1: "b", 2: "c"}, [g])
+        assert views[1] == frozenset({(0, "a"), (1, "b")})
+
+    def test_knowledge_monotone_over_rounds(self):
+        g = cycle(4)
+        inputs = {p: p for p in range(4)}
+        one = run_oblivious(inputs, [g])
+        two = run_oblivious(inputs, [g, g])
+        for p in range(4):
+            assert one[p] <= two[p]
+
+    def test_mismatched_round_graph(self):
+        with pytest.raises(AlgorithmError):
+            run_oblivious({0: 1, 1: 2}, [complete_graph(2), complete_graph(3)])
+
+    def test_size_mismatch(self):
+        with pytest.raises(AlgorithmError):
+            oblivious_round([frozenset()], complete_graph(2))
+
+
+class TestKSetAgreementTask:
+    def test_check_passing(self):
+        task = KSetAgreement(2, (0, 1, 2))
+        outcome = task.check({0: 0, 1: 1, 2: 2}, {0: 0, 1: 0, 2: 1})
+        assert outcome.ok
+        assert outcome.distinct_count == 2
+
+    def test_agreement_violation(self):
+        task = KSetAgreement(1, (0, 1))
+        outcome = task.check({0: 0, 1: 1}, {0: 0, 1: 1})
+        assert not outcome.agreement
+        assert not outcome.ok
+
+    def test_validity_violation(self):
+        task = KSetAgreement(2, (0, 1, 9))
+        outcome = task.check({0: 0, 1: 1}, {0: 9, 1: 0})
+        assert not outcome.valid
+
+    def test_decision_coverage_checked(self):
+        task = KSetAgreement(1, (0, 1))
+        with pytest.raises(AlgorithmError):
+            task.check({0: 0, 1: 1}, {0: 0})
+
+    def test_parameter_validation(self):
+        with pytest.raises(AlgorithmError):
+            KSetAgreement(0, (0, 1))
+        with pytest.raises(AlgorithmError):
+            KSetAgreement(1, ())
+        with pytest.raises(AlgorithmError):
+            KSetAgreement(1, (0, 0))
+
+    def test_interesting_inputs(self):
+        task = KSetAgreement(2, (0, 1, 2))
+        assert task.interesting_inputs(3)
+        assert not task.interesting_inputs(2)
+        assert not KSetAgreement(3, (0, 1)).interesting_inputs(5)
+
+    def test_values_sorted(self):
+        task = KSetAgreement(1, (3, 1, 2))
+        assert task.values == (1, 2, 3)
