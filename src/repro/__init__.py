@@ -17,8 +17,28 @@ The library provides, from scratch:
   function with provenance;
 * :mod:`repro.verification` — exhaustive algorithm verification and exact
   one-round solvability search (the ground truth for the bounds);
-* :mod:`repro.analysis` — the experiment tables (E1..E14) reproducing every
+* :mod:`repro.engine` — the shared compute layer: canonical graph keys and
+  interning, the process-global :class:`~repro.engine.cache.KernelCache`
+  that memoizes the hot kernels across call sites, and the
+  ``multiprocessing`` batch driver behind every parallel workload;
+* :mod:`repro.analysis` — the experiment tables (E1..E16) reproducing every
   figure and worked example of the paper.
+
+Architecture: the engine layer
+------------------------------
+All expensive quantities route through a handful of kernels (domination /
+covering numbers, homology ranks, the solvability CSP), each decorated
+with :func:`~repro.engine.cache.cached_kernel`.  Kernel results are
+memoized under canonical keys — isomorphism-invariant for small graphs,
+so a whole symmetric orbit shares one cache entry for label-invariant
+numbers; exact adjacency otherwise — and the cache can be disabled at any
+time (``repro.engine.cache_disabled()`` or ``REPRO_NO_CACHE=1``) with
+identical results.  Batch workloads fan out with
+:func:`repro.engine.run_batch`, which keeps the serial ``jobs=1`` path as
+the reference semantics: :func:`repro.bounds.bound_report_many` batches
+bound reports over many models, and ``python -m repro experiments
+--jobs N`` runs the experiment tables on worker processes with merged
+cache statistics (``python -m repro cache-stats`` probes cache health).
 
 Quickstart
 ----------
@@ -27,15 +47,22 @@ Quickstart
 >>> report = bound_report(symmetric_closure([wheel(4)]))
 >>> report.best_upper.k, report.best_lower.k, report.tight
 (3, 2, True)
+
+Batch variant (identical results for any ``jobs``)::
+
+    from repro import bound_report_many
+    from repro.graphs import cycle, wheel
+    reports = bound_report_many([[cycle(4)], [wheel(5)]], jobs=4)
 """
 
 from .agreement import FloodMin, KSetAgreement, MinOfDominatingSet, execute
-from .bounds import Bound, BoundKind, BoundReport, bound_report
+from .bounds import Bound, BoundKind, BoundReport, bound_report, bound_report_many
+from .engine import Job, KernelCache, run_batch
 from .graphs import Digraph
 from .models import ClosedAboveModel, simple_closed_above, symmetric_closed_above
 from .verification import decide_one_round_solvability, verify_algorithm
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Digraph",
@@ -50,6 +77,10 @@ __all__ = [
     "BoundKind",
     "BoundReport",
     "bound_report",
+    "bound_report_many",
+    "Job",
+    "KernelCache",
+    "run_batch",
     "decide_one_round_solvability",
     "verify_algorithm",
     "__version__",

@@ -5,7 +5,8 @@ Usage::
     python -m repro bounds --family wheel --n 4 [--symmetric] [--rounds 2]
     python -m repro search --family cycle --n 4 --k 1 [--full]
     python -m repro verify --family cycle --n 4 --k 2 [--rounds 3]
-    python -m repro experiments [E1 E6 ...]
+    python -m repro experiments [E1 E6 ...] [--jobs 4]
+    python -m repro cache-stats [--n 5] [--passes 3]
 
 ``--family`` names any zero/one-argument constructor from
 :mod:`repro.graphs.families` (star, cycle, wheel, path, out_tree,
@@ -104,7 +105,21 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis.experiments import run
 
-    run(args.ids or None)
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be a positive integer, got {args.jobs}")
+    run(args.ids or None, jobs=args.jobs)
+    return 0
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    from .engine.diagnostics import cache_probe
+
+    if args.passes < 2:
+        raise SystemExit(
+            f"--passes must be at least 2 (one cold, one warm), got {args.passes}"
+        )
+    report = cache_probe(n=args.n, passes=args.passes)
+    print(report.describe())
     return 0
 
 
@@ -153,7 +168,23 @@ def main(argv: list[str] | None = None) -> int:
 
     p_exp = sub.add_parser("experiments", help="run experiment tables")
     p_exp.add_argument("ids", nargs="*", help="e.g. E1 E6 (default: all)")
+    p_exp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment batch (default: 1)",
+    )
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_cache = sub.add_parser(
+        "cache-stats",
+        help="probe the kernel cache: cold vs warm pass timings and hit rates",
+    )
+    p_cache.add_argument(
+        "--n", type=int, default=5, help="process count of the probe families"
+    )
+    p_cache.add_argument(
+        "--passes", type=int, default=3, help="workload passes (first is cold)"
+    )
+    p_cache.set_defaults(func=cmd_cache_stats)
 
     args = parser.parse_args(argv)
     return args.func(args)

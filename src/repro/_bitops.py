@@ -87,7 +87,8 @@ def iter_subsets(mask: int) -> Iterator[int]:
     """Yield every subset of ``mask``, including ``0`` and ``mask`` itself.
 
     Uses the standard descending subset-enumeration trick; subsets are yielded
-    in decreasing numeric order starting from ``mask``.
+    in decreasing numeric order starting from ``mask``.  Mask-native: the
+    loop allocates nothing beyond the yielded integers.
     """
     sub = mask
     while True:
@@ -98,18 +99,54 @@ def iter_subsets(mask: int) -> Iterator[int]:
 
 
 def iter_subsets_of_size(mask: int, size: int) -> Iterator[int]:
-    """Yield every subset of ``mask`` containing exactly ``size`` elements."""
+    """Yield every subset of ``mask`` containing exactly ``size`` elements.
+
+    This runs in the innermost loop of every covering/domination number,
+    so both paths avoid per-subset element tuples:
+
+    * contiguous masks (``{0..k-1}``, i.e. every ``full_mask(n)`` universe
+      — the overwhelmingly common call) use Gosper's hack, pure integer
+      arithmetic yielding subsets in increasing numeric order;
+    * sparse masks precompute the single-bit masks once and fold each
+      combination with ``|``, skipping the index→mask translation that
+      :func:`mask_of` would redo per subset.
+
+    The enumeration order is unspecified beyond being deterministic per
+    mask; callers needing a canonical order sort the (small) result.
+    """
     if size < 0:
         raise ValueError(f"size must be non-negative, got {size}")
-    elements = bits_tuple(mask)
-    if size > len(elements):
+    count = mask.bit_count()
+    if size > count:
         return
-    # Gosper-style enumeration over positions, then map back through the
-    # element list so sparse masks are handled without scanning gaps.
+    if size == 0:
+        yield 0
+        return
+    if size == count:
+        yield mask
+        return
+    if mask == (1 << count) - 1:
+        sub = (1 << size) - 1
+        limit = 1 << count
+        while sub < limit:
+            yield sub
+            low = sub & -sub
+            ripple = sub + low
+            sub = ripple | (((sub ^ ripple) >> 2) // low)
+        return
     from itertools import combinations
 
-    for combo in combinations(elements, size):
-        yield mask_of(combo)
+    single_bits = []
+    rest = mask
+    while rest:
+        low = rest & -rest
+        single_bits.append(low)
+        rest ^= low
+    for combo in combinations(single_bits, size):
+        sub = 0
+        for bit_mask in combo:
+            sub |= bit_mask
+        yield sub
 
 
 def iter_supersets(mask: int, universe: int) -> Iterator[int]:
@@ -117,7 +154,8 @@ def iter_supersets(mask: int, universe: int) -> Iterator[int]:
 
     ``mask`` must be a subset of ``universe``.  The number of supersets is
     ``2**(popcount(universe) - popcount(mask))``; callers are responsible for
-    keeping that tractable.
+    keeping that tractable.  Mask-native: the loop allocates nothing beyond
+    the yielded integers.
     """
     if not is_subset(mask, universe):
         raise ValueError("mask must be a subset of universe")

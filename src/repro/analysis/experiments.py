@@ -4,9 +4,15 @@ Usage::
 
     python -m repro.analysis.experiments            # all experiments
     python -m repro.analysis.experiments E1 E6      # a subset
+    python -m repro experiments --jobs 4            # parallel fan-out
 
-The heavy experiments (E10 at n=3, E5's searches) take a couple of minutes
-combined; everything else is seconds.
+Each experiment is submitted as one engine job
+(:func:`repro.engine.batch.run_batch`), so ``jobs=N`` fans them out over
+worker processes; the serial default produces byte-identical tables.  The
+heavy experiments (E10 at n=3, E5's searches) take a couple of minutes
+combined; everything else is seconds.  Every table is followed by a cache
+footer — the kernel-cache hits/misses attributable to that experiment —
+so caching regressions show up directly in the report output.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ import sys
 import time
 from collections.abc import Callable
 
+from ..engine.batch import Job, run_batch
+from ..engine.cache import CacheStats
 from .render import render_table
 from .tables import (
     e01_figure1_table,
@@ -55,11 +63,29 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
 }
 
 
-def run(selected: list[str] | None = None, stream=None) -> None:
+def _run_experiment(key: str) -> tuple[list[str], list[list[object]]]:
+    """Compute one experiment's table; the engine job behind :func:`run`."""
+    _, builder = EXPERIMENTS[key]
+    return builder()
+
+
+def _cache_footer(stats: CacheStats) -> str:
+    """One-line kernel-cache summary appended under each table."""
+    return (
+        f"cache: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate)"
+    )
+
+
+def run(
+    selected: list[str] | None = None, stream=None, jobs: int = 1
+) -> None:
     """Run the selected experiments (default: all), printing tables.
 
     ``stream`` defaults to the *current* ``sys.stdout`` (resolved at call
-    time so output capture/redirection works).
+    time so output capture/redirection works).  ``jobs`` fans the
+    experiments out over worker processes; tables are printed in request
+    order either way.
     """
     if stream is None:
         stream = sys.stdout
@@ -69,16 +95,27 @@ def run(selected: list[str] | None = None, stream=None) -> None:
             raise SystemExit(
                 f"unknown experiment {key!r}; choose from {', '.join(EXPERIMENTS)}"
             )
-        title, builder = EXPERIMENTS[key]
-        start = time.perf_counter()
-        headers, rows = builder()
-        elapsed = time.perf_counter() - start
-        print(f"## {key} — {title}  ({elapsed:.1f}s)", file=stream)
+    tasks = [Job(name=key, fn=_run_experiment, args=(key,)) for key in chosen]
+    start = time.perf_counter()
+    batch = run_batch(tasks, jobs=jobs)
+    wall = time.perf_counter() - start
+    for key, result in zip(chosen, batch.results):
+        title, _ = EXPERIMENTS[key]
+        headers, rows = result.value
+        print(f"## {key} — {title}  ({result.elapsed:.1f}s)", file=stream)
         print(file=stream)
         print("```", file=stream)
         print(render_table(headers, rows), file=stream)
+        print(f"[{_cache_footer(result.stats)}]", file=stream)
         print("```", file=stream)
         print(file=stream)
+    if batch.jobs > 1:
+        print(
+            f"ran {len(chosen)} experiment(s) on {batch.jobs} workers in "
+            f"{wall:.1f}s ({batch.elapsed:.1f}s of compute); "
+            f"{_cache_footer(batch.stats)}",
+            file=stream,
+        )
 
 
 if __name__ == "__main__":

@@ -4,6 +4,12 @@ Each ``e*_...`` function computes one experiment's rows and returns
 ``(headers, rows)``; the matching ``benchmarks/bench_E*.py`` times it and
 prints the table, and EXPERIMENTS.md records the outputs next to the
 paper's claims.
+
+The heavyweight builders compute each row through a module-level row
+function submitted to the engine's batch driver
+(:func:`repro.engine.batch.run_batch`), so a ``jobs=N`` argument fans the
+rows out across worker processes; ``jobs=1`` (the default) runs the same
+jobs serially in-process with identical results.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from ..combinatorics.domination import (
     equal_domination_number_of_set,
 )
 from ..combinatorics.sequences import covering_sequence, rounds_to_reach_all
+from ..engine.batch import Job, run_batch
 from ..graphs.digraph import Digraph
 from ..graphs.dominating import domination_number
 from ..graphs.families import (
@@ -270,8 +277,28 @@ def e04_shellability_table() -> Table:
 # E5 — tightness on simple closed-above models (Thm 3.2 / 5.1)
 # ----------------------------------------------------------------------
 
+def _e05_row(name: str, g: Digraph, include_search: bool) -> list[object]:
+    """One candidate of E5; a batch job of :func:`e05_simple_tightness_table`."""
+    gamma = domination_number(g)
+    model = simple_closed_above(g)
+    algorithm = MinOfDominatingSet(g)
+    task = KSetAgreement(gamma, range(gamma + 1))
+    verified = verify_algorithm(
+        algorithm, model, task, superset_samples=5
+    ).ok
+    if gamma == 1 or not include_search:
+        search_result = "n/a"
+        confirmed = "vacuous" if gamma == 1 else "skipped"
+    else:
+        result = decide_one_round_solvability([g], gamma - 1)
+        search_result = "UNSAT" if not result.solvable else "SAT(!)"
+        confirmed = not result.solvable
+    return [name, gamma, verified, search_result, confirmed]
+
+
 def e05_simple_tightness_table(
     include_search: bool = True,
+    jobs: int = 1,
 ) -> Table:
     """γ(G)-set solvable (verified) and (γ(G)-1)-set impossible (searched)."""
     candidates: list[tuple[str, Digraph]] = [
@@ -290,31 +317,40 @@ def e05_simple_tightness_table(
         "search k=gamma-1",
         "Thm5.1 confirmed",
     ]
-    rows = []
-    for name, g in candidates:
-        gamma = domination_number(g)
-        model = simple_closed_above(g)
-        algorithm = MinOfDominatingSet(g)
-        task = KSetAgreement(gamma, range(gamma + 1))
-        verified = verify_algorithm(
-            algorithm, model, task, superset_samples=5
-        ).ok
-        if gamma == 1 or not include_search:
-            search_result = "n/a"
-            confirmed = "vacuous" if gamma == 1 else "skipped"
-        else:
-            result = decide_one_round_solvability([g], gamma - 1)
-            search_result = "UNSAT" if not result.solvable else "SAT(!)"
-            confirmed = not result.solvable
-        rows.append([name, gamma, verified, search_result, confirmed])
-    return headers, rows
+    tasks = [
+        Job(name=f"E5:{name}", fn=_e05_row, args=(name, g, include_search))
+        for name, g in candidates
+    ]
+    return headers, list(run_batch(tasks, jobs=jobs).values)
 
 
 # ----------------------------------------------------------------------
 # E6 — union-of-stars models (Thm 5.4 / 6.13)
 # ----------------------------------------------------------------------
 
-def e06_star_union_table(cases: Sequence[tuple[int, int]] | None = None) -> Table:
+def _e06_row(n: int, s: int) -> list[object]:
+    """One ``(n, s)`` case of E6; a batch job of :func:`e06_star_union_table`."""
+    sym = tuple(sorted(symmetric_closure([union_of_stars(n, tuple(range(s)))])))
+    gd = distributed_domination_number(sym)
+    lower = lower_bound_general(sym)
+    upper = best_upper_bound(sym)
+    closed_form = lower_bound_star_unions(n, s)
+    return [
+        n,
+        s,
+        gd,
+        n - s + 1,
+        lower.k,
+        closed_form.k,
+        upper.k,
+        n - s + 1,
+        upper.k == lower.k + 1,
+    ]
+
+
+def e06_star_union_table(
+    cases: Sequence[tuple[int, int]] | None = None, jobs: int = 1
+) -> Table:
     """The paper's flagship tight family: unions of ``s`` stars on ``n``."""
     if cases is None:
         cases = [(4, 1), (4, 2), (4, 3), (5, 1), (5, 2), (5, 3), (5, 4), (6, 2), (6, 3)]
@@ -329,27 +365,10 @@ def e06_star_union_table(cases: Sequence[tuple[int, int]] | None = None) -> Tabl
         "paper solvable n-s+1",
         "tight",
     ]
-    rows = []
-    for n, s in cases:
-        sym = tuple(symmetric_closure([union_of_stars(n, tuple(range(s)))]))
-        gd = distributed_domination_number(sym)
-        lower = lower_bound_general(sym)
-        upper = best_upper_bound(sym)
-        closed_form = lower_bound_star_unions(n, s)
-        rows.append(
-            [
-                n,
-                s,
-                gd,
-                n - s + 1,
-                lower.k,
-                closed_form.k,
-                upper.k,
-                n - s + 1,
-                upper.k == lower.k + 1,
-            ]
-        )
-    return headers, rows
+    tasks = [
+        Job(name=f"E6:n={n},s={s}", fn=_e06_row, args=(n, s)) for n, s in cases
+    ]
+    return headers, list(run_batch(tasks, jobs=jobs).values)
 
 
 # ----------------------------------------------------------------------
@@ -379,7 +398,15 @@ def e07_product_closure_report(n: int = 6) -> Table:
 # E8 — connectivity of closed-above models (Thm 4.12)
 # ----------------------------------------------------------------------
 
-def e08_model_connectivity_table() -> Table:
+def _e08_row(name: str, generators: list[Digraph]) -> list[object]:
+    """One model of E8; a batch job of :func:`e08_model_connectivity_table`."""
+    n = generators[0].n
+    complex_ = uninterpreted_complex_of_closed_above(generators)
+    measured = homological_connectivity(complex_)
+    return [name, n, len(complex_), measured, n - 2, measured >= n - 2]
+
+
+def e08_model_connectivity_table(jobs: int = 1) -> Table:
     """(n-2)-connectivity of uninterpreted complexes, measured by homology."""
     cases: list[tuple[str, list[Digraph]]] = [
         ("simple: fig2 (n=3)", [figure2_graph()]),
@@ -397,15 +424,11 @@ def e08_model_connectivity_table() -> Table:
         ),
     ]
     headers = ["model", "n", "facets", "measured conn", "Thm 4.12 (n-2)", "ok"]
-    rows = []
-    for name, generators in cases:
-        n = generators[0].n
-        complex_ = uninterpreted_complex_of_closed_above(generators)
-        measured = homological_connectivity(complex_)
-        rows.append(
-            [name, n, len(complex_), measured, n - 2, measured >= n - 2]
-        )
-    return headers, rows
+    tasks = [
+        Job(name=f"E8:{name}", fn=_e08_row, args=(name, generators))
+        for name, generators in cases
+    ]
+    return headers, list(run_batch(tasks, jobs=jobs).values)
 
 
 # ----------------------------------------------------------------------
@@ -451,7 +474,30 @@ def e09_covering_sequence_table() -> Table:
 # E10 — exhaustive one-round solvability frontier
 # ----------------------------------------------------------------------
 
-def e10_solvability_frontier_table(n: int = 3) -> Table:
+def _e10_row(g: Digraph, n: int) -> list[object]:
+    """One generator of E10; a batch job of
+    :func:`e10_solvability_frontier_table`."""
+    sym = sorted(symmetric_closure([g]))
+    model = symmetric_closed_above([g])
+    report = bound_report(sym)
+    # Exact: smallest k with SAT over the full allowed set.
+    full = sorted(model.iter_graphs(max_graphs=1 << 12))
+    exact = None
+    for k in range(1, n + 1):
+        if decide_one_round_solvability(full, k).solvable:
+            exact = k
+            break
+    lo, hi = report.best_lower.k, report.best_upper.k
+    return [
+        sorted(g.proper_edges()),
+        f"({lo}, {hi}]",
+        exact,
+        exact is not None and lo < exact <= hi,
+        exact == lo + 1,
+    ]
+
+
+def e10_solvability_frontier_table(n: int = 3, jobs: int = 1) -> Table:
     """Exact solvable k for every symmetric model on n processes vs bounds.
 
     Enumerates symmetric closed-above models generated by a single graph
@@ -470,29 +516,11 @@ def e10_solvability_frontier_table(n: int = 3) -> Table:
         "within bounds",
         "tight@exact",
     ]
-    rows = []
-    for g in representatives:
-        sym = sorted(symmetric_closure([g]))
-        model = symmetric_closed_above([g])
-        report = bound_report(sym)
-        # Exact: smallest k with SAT over the full allowed set.
-        full = sorted(model.iter_graphs(max_graphs=1 << 12))
-        exact = None
-        for k in range(1, n + 1):
-            if decide_one_round_solvability(full, k).solvable:
-                exact = k
-                break
-        lo, hi = report.best_lower.k, report.best_upper.k
-        rows.append(
-            [
-                sorted(g.proper_edges()),
-                f"({lo}, {hi}]",
-                exact,
-                exact is not None and lo < exact <= hi,
-                exact == lo + 1,
-            ]
-        )
-    return headers, rows
+    tasks = [
+        Job(name=f"E10:{index}", fn=_e10_row, args=(g, n))
+        for index, g in enumerate(representatives)
+    ]
+    return headers, list(run_batch(tasks, jobs=jobs).values)
 
 
 # ----------------------------------------------------------------------

@@ -9,7 +9,7 @@ from .lower import (
     lower_bound_star_unions,
     lower_bound_symmetric,
 )
-from .report import BoundReport, bound_report
+from .report import BoundReport, bound_report, bound_report_many
 from .results import Bound, BoundKind
 from .upper import (
     all_covering_upper_bounds,
@@ -29,6 +29,7 @@ __all__ = [
     "BoundKind",
     "BoundReport",
     "bound_report",
+    "bound_report_many",
     "best_lower_bound",
     "lower_bound_general",
     "lower_bound_general_multi_round",

@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from ..engine.batch import Job, run_batch
 from ..errors import GraphError
 from ..graphs.digraph import Digraph
 from .lower import (
@@ -28,7 +29,7 @@ from .upper import (
     upper_bound_simple_multi_round,
 )
 
-__all__ = ["BoundReport", "bound_report"]
+__all__ = ["BoundReport", "bound_report", "bound_report_many"]
 
 
 def _dedup(bounds: list[Bound]) -> list[Bound]:
@@ -149,3 +150,32 @@ def bound_report(
         upper_bounds=tuple(uppers),
         lower_bounds=tuple(lowers),
     )
+
+
+def bound_report_many(
+    models: Iterable[Iterable[Digraph]],
+    rounds: int = 1,
+    semantics: str = "pointwise",
+    jobs: int = 1,
+) -> list[BoundReport]:
+    """Batch :func:`bound_report` over many models, optionally in parallel.
+
+    ``models`` is an iterable of generator sets; reports come back in the
+    same order.  ``jobs`` is the worker-process count handed to
+    :func:`repro.engine.batch.run_batch` — ``jobs=1`` is the serial
+    reference path, and any value produces identical reports.  Kernel
+    results memoized while one model is processed are reused by every
+    later model that shares graphs (within a worker), which is the common
+    case for sweeps over overlapping families.
+    """
+    prepared = [tuple(generators) for generators in models]
+    tasks = [
+        Job(
+            name=f"bound_report[{index}]",
+            fn=bound_report,
+            args=(generators,),
+            kwargs={"rounds": rounds, "semantics": semantics},
+        )
+        for index, generators in enumerate(prepared)
+    ]
+    return list(run_batch(tasks, jobs=jobs).values)

@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from .._bitops import full_mask, iter_subsets_of_size, popcount
+from ..engine.cache import cached_kernel
+from ..engine.canonical import iso_key
 from ..errors import GraphError
 from ..graphs.digraph import Digraph
 
@@ -28,6 +30,11 @@ __all__ = [
 def covering_number(g: Digraph, i: int) -> int:
     """``cov_i(G) = min_{|P|=i} |Out_G(P)|`` (Def 3.6)."""
     _check_i(g.n, i)
+    return _covering_number(g, i)
+
+
+@cached_kernel(name="covering_number", key=lambda g, i: (iso_key(g), i))
+def _covering_number(g: Digraph, i: int) -> int:
     universe = full_mask(g.n)
     return min(
         popcount(g.out_of_set(p)) for p in iter_subsets_of_size(universe, i)
@@ -42,15 +49,14 @@ def covering_number_of_set(graphs: Iterable[Digraph], i: int) -> int:
     return min(covering_number(g, i) for g in graphs)
 
 
+@cached_kernel(name="covering_numbers", key=iso_key)
 def covering_numbers(g: Digraph) -> tuple[int, ...]:
-    """The full profile ``(cov_1(G), ..., cov_n(G))``."""
-    universe = full_mask(g.n)
-    profile = []
-    for i in range(1, g.n + 1):
-        profile.append(
-            min(popcount(g.out_of_set(p)) for p in iter_subsets_of_size(universe, i))
-        )
-    return tuple(profile)
+    """The full profile ``(cov_1(G), ..., cov_n(G))``.
+
+    Built level-by-level through :func:`_covering_number`, so a profile
+    and individual ``cov_i`` queries share the same cache entries.
+    """
+    return tuple(_covering_number(g, i) for i in range(1, g.n + 1))
 
 
 def worst_covered_set(g: Digraph, i: int) -> int:

@@ -43,6 +43,8 @@ from collections.abc import Iterable
 from itertools import combinations
 
 from .._bitops import full_mask, iter_subsets_of_size, popcount
+from ..engine.cache import cached_kernel
+from ..engine.canonical import graph_set_key
 from ..errors import GraphError
 from ..graphs.digraph import Digraph
 
@@ -76,8 +78,16 @@ def distributed_domination_number(
     graph subsets enlarge the joint audience too) and holds at ``i = n``
     thanks to self-loops, so a linear scan terminates.
     """
-    s = _as_tuple(graphs)
+    s = _normalized(graphs)
     _check_semantics(semantics)
+    return _distributed_domination_number(s, semantics)
+
+
+@cached_kernel(
+    name="distributed_domination_number",
+    key=lambda s, semantics: (graph_set_key(s), semantics),
+)
+def _distributed_domination_number(s: tuple[Digraph, ...], semantics: str) -> int:
     n = s[0].n
     universe = full_mask(n)
     for i in range(1, n + 1):
@@ -111,11 +121,22 @@ def max_covering_witness(
     The graph choice is returned as the support of the best non-dominating
     selection; None means every admissible choice dominates.
     """
-    s = _as_tuple(graphs)
+    s = _normalized(graphs)
     _check_semantics(semantics)
     n = s[0].n
     if not 1 <= i <= n:
         raise GraphError(f"index must be in [1, n], got i={i}, n={n}")
+    return _max_covering_witness(s, i, semantics)
+
+
+@cached_kernel(
+    name="max_covering_witness",
+    key=lambda s, i, semantics: (graph_set_key(s), i, semantics),
+)
+def _max_covering_witness(
+    s: tuple[Digraph, ...], i: int, semantics: str
+) -> tuple[int, int, tuple[Digraph, ...]] | None:
+    n = s[0].n
     universe = full_mask(n)
     group_size = min(i, len(s))
     if semantics == "subsets":
@@ -184,3 +205,13 @@ def _as_tuple(graphs: Iterable[Digraph]) -> tuple[Digraph, ...]:
     if any(g.n != n for g in s):
         raise GraphError("all graphs must share the same process count")
     return s
+
+
+def _normalized(graphs: Iterable[Digraph]) -> tuple[Digraph, ...]:
+    """Validate and normalise a graph *set*: sorted, duplicates removed.
+
+    All Def 5.2/5.3 quantities are functions of the set of graphs, so
+    normalising here makes results independent of input ordering and lets
+    the kernel cache share one entry per set.
+    """
+    return tuple(sorted(set(_as_tuple(graphs))))

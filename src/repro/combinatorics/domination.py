@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from .._bitops import full_mask, iter_subsets_of_size
+from ..engine.cache import cached_kernel
+from ..engine.canonical import iso_key
 from ..errors import GraphError
 from ..graphs.digraph import Digraph
 from ..graphs.dominating import domination_number
@@ -24,6 +26,7 @@ __all__ = [
 ]
 
 
+@cached_kernel(name="equal_domination_number", key=iso_key)
 def equal_domination_number(g: Digraph) -> int:
     """``γ_eq(G)``: least ``i`` with every ``i``-set dominating (Def 3.3).
 

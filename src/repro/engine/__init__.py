@@ -1,0 +1,63 @@
+"""Shared compute engine: interned graphs, memoized kernels, batch driver.
+
+Every bound and experiment in this reproduction reduces to a handful of
+expensive kernels — domination / covering numbers, homology ranks, the
+one-round solvability CSP — and most workloads call them repeatedly on
+structurally identical graphs (symmetric closures alone multiply every
+generator by up to ``n!`` relabellings).  This package factors the shared
+infrastructure out of the call sites:
+
+* :mod:`~repro.engine.canonical` — canonical cache keys for graphs and
+  graph sets: an isomorphism-invariant key for small graphs (so every
+  member of a symmetric orbit shares one cache line for iso-invariant
+  kernels) and the exact adjacency key otherwise, plus graph interning so
+  equal graphs share one object.
+* :mod:`~repro.engine.cache` — :class:`KernelCache`, a process-global,
+  size-bounded memo store with per-kernel hit/miss statistics, and the
+  :func:`cached_kernel` decorator adopted by the hot kernels in
+  :mod:`repro.graphs`, :mod:`repro.combinatorics`, :mod:`repro.topology`
+  and :mod:`repro.verification`.
+* :mod:`~repro.engine.batch` — :class:`Job` / :func:`run_batch`, a
+  ``multiprocessing`` fan-out driver with per-worker cache warmup and
+  merged statistics, used by ``bounds.bound_report_many`` and the
+  experiment runner (``python -m repro experiments --jobs N``).
+
+The cache can be disabled globally (``KERNEL_CACHE.enabled = False``),
+temporarily (:func:`cache_disabled`), or via the ``REPRO_NO_CACHE``
+environment variable; the equivalence tests assert that results are
+identical either way.
+"""
+
+from .batch import BatchResult, Job, JobError, JobResult, run_batch
+from .cache import (
+    KERNEL_CACHE,
+    CacheStats,
+    KernelCache,
+    cache_disabled,
+    cached_kernel,
+)
+from .canonical import (
+    ISO_KEY_MAX_N,
+    adjacency_key,
+    graph_set_key,
+    intern_graph,
+    iso_key,
+)
+
+__all__ = [
+    "KERNEL_CACHE",
+    "CacheStats",
+    "KernelCache",
+    "cache_disabled",
+    "cached_kernel",
+    "ISO_KEY_MAX_N",
+    "adjacency_key",
+    "graph_set_key",
+    "intern_graph",
+    "iso_key",
+    "BatchResult",
+    "Job",
+    "JobError",
+    "JobResult",
+    "run_batch",
+]

@@ -1,0 +1,170 @@
+"""Parallel batch driver: fan experiment jobs out across cores.
+
+A :class:`Job` names a picklable top-level callable plus its arguments;
+:func:`run_batch` executes a sequence of jobs either serially (``jobs=1``,
+the reference path) or on a ``multiprocessing`` pool, returning values in
+submission order together with per-job timings and merged kernel-cache
+statistics.  The two paths are observationally identical: jobs must be
+independent pure computations, so the only difference is wall-clock.
+
+Worker caches: on fork-capable platforms every worker inherits the
+parent's warm :data:`~repro.engine.cache.KERNEL_CACHE` at fork time; an
+optional ``warmup`` callable runs once per worker for spawn platforms or
+for priming beyond the parent's state.  Each job ships its cache-stats
+delta back with its result, and the parent absorbs the deltas so global
+statistics reflect work done everywhere.
+
+Nested batches degrade gracefully: pool workers are daemonic and cannot
+spawn their own pools, so a ``run_batch`` call inside a worker silently
+runs serially instead of crashing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..errors import EngineError
+from .cache import KERNEL_CACHE, CacheStats
+
+__all__ = ["Job", "JobResult", "JobError", "BatchResult", "run_batch"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of batch work: ``fn(*args, **kwargs)``.
+
+    ``fn`` must be an importable module-level callable (pool workers
+    receive jobs by pickling) and, like every cached kernel, must be a
+    pure function of its arguments.
+    """
+
+    name: str
+    fn: Callable
+    args: tuple = ()
+    kwargs: Mapping = field(default_factory=dict)
+
+    def run(self) -> object:
+        return self.fn(*self.args, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """A job's value plus its observability payload."""
+
+    name: str
+    value: object
+    elapsed: float
+    stats: CacheStats
+    """Kernel-cache activity attributable to this job alone."""
+
+
+class JobError(EngineError):
+    """A batch job raised; the original exception is chained as cause."""
+
+    def __init__(self, job_name: str, message: str):
+        super().__init__(f"job {job_name!r} failed: {message}")
+        self.job_name = job_name
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """All job results in submission order, plus merged statistics."""
+
+    results: tuple[JobResult, ...]
+    stats: CacheStats
+    jobs: int
+    """Worker processes actually used (1 = serial reference path)."""
+
+    @property
+    def values(self) -> tuple[object, ...]:
+        return tuple(r.value for r in self.results)
+
+    @property
+    def elapsed(self) -> float:
+        """Total compute time summed over jobs (not wall-clock)."""
+        return sum(r.elapsed for r in self.results)
+
+
+def _execute_job(job: Job) -> JobResult | tuple[str, str, BaseException]:
+    """Run one job, measuring wall time and the cache-stats delta."""
+    before = KERNEL_CACHE.stats()
+    start = time.perf_counter()
+    try:
+        value = job.run()
+    except Exception as exc:
+        # Re-raised as JobError in the parent; KeyboardInterrupt/SystemExit
+        # propagate so Ctrl-C keeps its semantics on the serial path.
+        return (job.name, f"{type(exc).__name__}: {exc}", exc)
+    elapsed = time.perf_counter() - start
+    delta = KERNEL_CACHE.stats().delta_since(before)
+    return JobResult(name=job.name, value=value, elapsed=elapsed, stats=delta)
+
+
+def _init_worker(warmup: Callable[[], object] | None) -> None:
+    if warmup is not None:
+        warmup()
+
+
+def _in_daemon_process() -> bool:
+    return multiprocessing.current_process().daemon
+
+
+def run_batch(
+    tasks: Sequence[Job],
+    /,
+    *,
+    jobs: int = 1,
+    warmup: Callable[[], object] | None = None,
+) -> BatchResult:
+    """Execute ``tasks`` and return their results in submission order.
+
+    Parameters
+    ----------
+    tasks:
+        The jobs to run.  Results are returned positionally; a failing
+        job raises :class:`JobError` with the worker exception chained.
+    jobs:
+        Worker process count.  ``1`` (default) runs serially in-process —
+        the reference path the parallel path must match exactly.  Values
+        above the task count are clamped; inside an existing worker the
+        call degrades to serial.
+    warmup:
+        Optional picklable zero-argument callable run once per worker
+        before any job, for cache priming (fork workers already inherit
+        the parent's warm cache; this matters on spawn platforms or when
+        priming beyond the parent's state).
+    """
+    tasks = list(tasks)
+    if jobs < 1:
+        raise EngineError(f"jobs must be positive, got {jobs}")
+    workers = min(jobs, len(tasks))
+    if workers <= 1 or _in_daemon_process():
+        if warmup is not None:
+            warmup()
+        outcomes = [_execute_job(job) for job in tasks]
+        workers = 1
+    else:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        with context.Pool(
+            processes=workers, initializer=_init_worker, initargs=(warmup,)
+        ) as pool:
+            outcomes = pool.map(_execute_job, tasks)
+    results = []
+    merged = CacheStats()
+    for outcome in outcomes:
+        if isinstance(outcome, tuple):
+            name, message, cause = outcome
+            raise JobError(name, message) from cause
+        results.append(outcome)
+        merged = merged.merge(outcome.stats)
+    if workers > 1:
+        # Worker processes mutated their own cache copies; fold their
+        # statistics into the parent so cache-stats reports see them.
+        KERNEL_CACHE.absorb(merged)
+    return BatchResult(results=tuple(results), stats=merged, jobs=workers)

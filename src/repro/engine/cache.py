@@ -1,0 +1,278 @@
+"""Process-global memo store for the expensive kernels.
+
+:class:`KernelCache` is a size-bounded LRU mapping ``(kernel, key)`` pairs
+to computed values, with per-kernel hit/miss/eviction counters.  The
+:func:`cached_kernel` decorator routes a function through the global
+:data:`KERNEL_CACHE`; each decorated function supplies a ``key`` callable
+that maps its arguments to a hashable cache key (usually built from the
+canonical graph keys of :mod:`~repro.engine.canonical`).
+
+Cached kernels must be pure and must return values the caller will not
+mutate (ints, tuples, frozen dataclasses); the cache hands back the stored
+object itself, not a copy.
+
+The cache is deliberately process-local.  Under :func:`~repro.engine.batch.
+run_batch` each worker inherits the parent's warm cache at ``fork`` time,
+accumulates its own statistics, and ships the per-job deltas back to the
+parent, which absorbs them so that ``python -m repro cache-stats`` and the
+experiment table footers observe the whole run.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from collections.abc import Callable, Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import wraps
+from threading import RLock
+
+__all__ = [
+    "CacheStats",
+    "KernelCache",
+    "KERNEL_CACHE",
+    "cached_kernel",
+    "cache_disabled",
+]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of cache activity, mergeable across workers."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    by_kernel: tuple[tuple[str, int, int], ...] = ()
+    """Per-kernel ``(name, hits, misses)`` rows, sorted by name."""
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combine two snapshots (e.g. parent stats + a worker delta)."""
+        merged: dict[str, list[int]] = {}
+        for name, hits, misses in self.by_kernel + other.by_kernel:
+            row = merged.setdefault(name, [0, 0])
+            row[0] += hits
+            row[1] += misses
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            entries=max(self.entries, other.entries),
+            by_kernel=tuple(
+                (name, row[0], row[1]) for name, row in sorted(merged.items())
+            ),
+        )
+
+    def delta_since(self, baseline: "CacheStats") -> "CacheStats":
+        """Activity between ``baseline`` and this snapshot."""
+        base = {name: (h, m) for name, h, m in baseline.by_kernel}
+        rows = []
+        for name, hits, misses in self.by_kernel:
+            bh, bm = base.get(name, (0, 0))
+            if hits - bh or misses - bm:
+                rows.append((name, hits - bh, misses - bm))
+        return CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            evictions=self.evictions - baseline.evictions,
+            entries=self.entries,
+            by_kernel=tuple(rows),
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"kernel cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.entries} entries, "
+            f"{self.evictions} evictions"
+        ]
+        for name, hits, misses in self.by_kernel:
+            total = hits + misses
+            rate = hits / total if total else 0.0
+            lines.append(f"  {name}: {hits}/{total} hits ({rate:.0%})")
+        return "\n".join(lines)
+
+
+@dataclass
+class _KernelCounters:
+    hits: int = 0
+    misses: int = 0
+
+
+class KernelCache:
+    """Size-bounded LRU memo store with per-kernel statistics.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on stored values; the least recently used entry is
+        evicted first.  The default comfortably holds every kernel result
+        of a full experiment run while bounding worst-case memory.
+    enabled:
+        Master switch; when False every lookup misses and nothing is
+        stored (used by the equivalence tests and ``REPRO_NO_CACHE``).
+    """
+
+    def __init__(self, max_entries: int = 1 << 16, enabled: bool = True):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.enabled = enabled
+        self._data: OrderedDict[tuple, object] = OrderedDict()
+        self._kernels: dict[str, _KernelCounters] = {}
+        self._evictions = 0
+        self._absorbed = CacheStats()
+        self._lock = RLock()
+
+    # ------------------------------------------------------------------
+    def lookup(self, kernel: str, key: object) -> object:
+        """Return the stored value or the module-private miss sentinel."""
+        with self._lock:
+            counters = self._kernels.setdefault(kernel, _KernelCounters())
+            if not self.enabled:
+                counters.misses += 1
+                return _MISSING
+            full_key = (kernel, key)
+            value = self._data.get(full_key, _MISSING)
+            if value is _MISSING:
+                counters.misses += 1
+            else:
+                counters.hits += 1
+                self._data.move_to_end(full_key)
+            return value
+
+    def store(self, kernel: str, key: object, value: object) -> None:
+        """Insert a computed value, evicting LRU entries when full."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._data[(kernel, key)] = value
+            self._data.move_to_end((kernel, key))
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        with self._lock:
+            self._data.clear()
+            self._kernels.clear()
+            self._evictions = 0
+            self._absorbed = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """Snapshot of all activity, including absorbed worker deltas."""
+        with self._lock:
+            local = CacheStats(
+                hits=sum(c.hits for c in self._kernels.values()),
+                misses=sum(c.misses for c in self._kernels.values()),
+                evictions=self._evictions,
+                entries=len(self._data),
+                by_kernel=tuple(
+                    (name, c.hits, c.misses)
+                    for name, c in sorted(self._kernels.items())
+                ),
+            )
+            return local.merge(self._absorbed)
+
+    def absorb(self, delta: CacheStats) -> None:
+        """Fold a worker's statistics delta into this cache's totals."""
+        with self._lock:
+            self._absorbed = self._absorbed.merge(
+                CacheStats(
+                    hits=delta.hits,
+                    misses=delta.misses,
+                    evictions=delta.evictions,
+                    by_kernel=delta.by_kernel,
+                )
+            )
+
+    @contextmanager
+    def disabled(self):
+        """Context manager: run with the cache switched off."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+
+#: The process-global cache every :func:`cached_kernel` routes through.
+KERNEL_CACHE = KernelCache(enabled=not os.environ.get("REPRO_NO_CACHE"))
+
+
+def cache_disabled():
+    """Context manager disabling the global :data:`KERNEL_CACHE`."""
+    return KERNEL_CACHE.disabled()
+
+
+def cached_kernel(
+    name: str | None = None,
+    *,
+    key: Callable[..., object] | None = None,
+    cache: KernelCache | None = None,
+):
+    """Decorator memoizing a pure kernel in the global :class:`KernelCache`.
+
+    Parameters
+    ----------
+    name:
+        Statistics label; defaults to the function's qualified name.
+    key:
+        Called with the kernel's arguments, must return a hashable cache
+        key.  Defaults to ``(*args, *sorted(kwargs))`` verbatim, which is
+        only correct when every argument is hashable and canonical —
+        kernels taking graphs should build keys from
+        :func:`~repro.engine.canonical.adjacency_key` /
+        :func:`~repro.engine.canonical.iso_key`.
+    cache:
+        Override the store (tests); defaults to :data:`KERNEL_CACHE`.
+
+    The undecorated function stays reachable via ``__wrapped__``.
+    """
+
+    def decorate(fn):
+        kernel = name or fn.__qualname__
+        store = cache
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            target = store if store is not None else KERNEL_CACHE
+            if not target.enabled:
+                # Count the bypass as a miss so disabled runs stay observable.
+                target.lookup(kernel, None)
+                return fn(*args, **kwargs)
+            cache_key = (
+                key(*args, **kwargs)
+                if key is not None
+                else (args, tuple(sorted(kwargs.items())))
+            )
+            value = target.lookup(kernel, cache_key)
+            if value is _MISSING:
+                value = fn(*args, **kwargs)
+                target.store(kernel, cache_key, value)
+            return value
+
+        wrapper.kernel_name = kernel
+        return wrapper
+
+    return decorate

@@ -10,6 +10,7 @@ __all__ = [
     "TopologyError",
     "AlgorithmError",
     "VerificationError",
+    "EngineError",
 ]
 
 
@@ -39,3 +40,7 @@ class AlgorithmError(ReproError):
 
 class VerificationError(ReproError):
     """Raised when a verification harness is misused."""
+
+
+class EngineError(ReproError):
+    """Raised by the compute engine (cache misuse, failed batch jobs)."""

@@ -10,11 +10,18 @@ A set ``P`` of processes *dominates* ``G`` when ``⋃_{p∈P} Out_G(p) = Π``
 * :func:`domination_number` — ``γ(G)``.
 * :func:`all_minimum_dominating_sets` — every optimal witness, used by the
   upper-bound algorithms, tests and benchmarks.
+
+The exact solvers are memoized in the process-global
+:data:`~repro.engine.cache.KERNEL_CACHE`: witnesses under the exact
+adjacency key (they are labelling-dependent), ``γ`` itself under the
+isomorphism-invariant key so an entire symmetric orbit shares one entry.
 """
 
 from __future__ import annotations
 
 from .._bitops import bits_tuple, full_mask, iter_bits, popcount
+from ..engine.cache import cached_kernel
+from ..engine.canonical import adjacency_key, iso_key
 from ..errors import GraphError
 from .digraph import Digraph
 
@@ -56,6 +63,7 @@ def greedy_dominating_set(g: Digraph) -> int:
     return chosen
 
 
+@cached_kernel(name="minimum_dominating_set", key=adjacency_key)
 def minimum_dominating_set(g: Digraph) -> int:
     """Exact minimum dominating set (bitmask), via branch and bound.
 
@@ -69,6 +77,7 @@ def minimum_dominating_set(g: Digraph) -> int:
     return best[1]
 
 
+@cached_kernel(name="domination_number", key=iso_key)
 def domination_number(g: Digraph) -> int:
     """``γ(G)``: size of the minimum dominating set (Def 3.1)."""
     return popcount(minimum_dominating_set(g))
@@ -76,16 +85,22 @@ def domination_number(g: Digraph) -> int:
 
 def all_minimum_dominating_sets(g: Digraph) -> list[int]:
     """All dominating bitmasks of optimal size, sorted."""
+    return list(_all_minimum_dominating_sets(g))
+
+
+@cached_kernel(name="all_minimum_dominating_sets", key=adjacency_key)
+def _all_minimum_dominating_sets(g: Digraph) -> tuple[int, ...]:
     gamma = domination_number(g)
     universe = full_mask(g.n)
     from .._bitops import iter_subsets_of_size
 
-    result = [
-        members
-        for members in iter_subsets_of_size(universe, gamma)
-        if g.dominates(members)
-    ]
-    return sorted(result)
+    return tuple(
+        sorted(
+            members
+            for members in iter_subsets_of_size(universe, gamma)
+            if g.dominates(members)
+        )
+    )
 
 
 def _branch(g: Digraph, chosen: int, covered: int, best: list) -> None:

@@ -15,7 +15,9 @@ machinery:
 
 from __future__ import annotations
 
-from .._bitops import full_mask, iter_bits
+from .._bitops import iter_bits
+from ..engine.cache import cached_kernel
+from ..engine.canonical import adjacency_key, iso_key
 from ..errors import GraphError
 from .digraph import Digraph
 
@@ -37,6 +39,13 @@ def distances_from(g: Digraph, source: int) -> list[int | None]:
     ``source``.
     """
     _check_member(g, source)
+    return list(_distances_from(g, source))
+
+
+@cached_kernel(
+    name="distances_from", key=lambda g, source: (adjacency_key(g), source)
+)
+def _distances_from(g: Digraph, source: int) -> tuple[int | None, ...]:
     result: list[int | None] = [None] * g.n
     reached = 1 << source
     frontier = reached
@@ -52,7 +61,7 @@ def distances_from(g: Digraph, source: int) -> list[int | None]:
             result[v] = level
         reached |= new
         frontier = new
-    return result
+    return tuple(result)
 
 
 def distance(g: Digraph, source: int, target: int) -> int | None:
@@ -63,12 +72,14 @@ def distance(g: Digraph, source: int, target: int) -> int | None:
 
 def eccentricity(g: Digraph, source: int) -> int | None:
     """Rounds until *everyone* heard ``source`` (None if unreachable)."""
-    dists = distances_from(g, source)
+    _check_member(g, source)
+    dists = _distances_from(g, source)
     if any(d is None for d in dists):
         return None
     return max(d for d in dists if d is not None)
 
 
+@cached_kernel(name="radius", key=iso_key)
 def radius(g: Digraph) -> int | None:
     """Minimum eccentricity: the best single broadcaster's flooding time."""
     eccs = [eccentricity(g, u) for u in g.processes()]
@@ -76,6 +87,7 @@ def radius(g: Digraph) -> int | None:
     return min(finite) if finite else None
 
 
+@cached_kernel(name="diameter", key=iso_key)
 def diameter(g: Digraph) -> int | None:
     """Maximum eccentricity; ``G^diameter`` is the clique when finite."""
     eccs = [eccentricity(g, u) for u in g.processes()]

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from itertools import permutations
 
+from ..engine.canonical import intern_graph
 from ..errors import GraphError
 from .digraph import Digraph
 
@@ -27,9 +28,14 @@ def orbit(g: Digraph) -> frozenset[Digraph]:
     """All relabellings ``{π(G)}`` of a graph (its isomorphism orbit).
 
     Exhaustive over the ``n!`` permutations; intended for the small process
-    counts the paper's examples use (``n ≤ 8`` is comfortable).
+    counts the paper's examples use (``n ≤ 8`` is comfortable).  Members are
+    interned (:func:`repro.engine.canonical.intern_graph`), so the orbits
+    and symmetric closures that every model/table rebuilds share one object
+    per distinct graph — and one kernel-cache line.
     """
-    return frozenset(g.permute(p) for p in permutations(range(g.n)))
+    return frozenset(
+        intern_graph(g.permute(p)) for p in permutations(range(g.n))
+    )
 
 
 def symmetric_closure(graphs: Iterable[Digraph]) -> frozenset[Digraph]:

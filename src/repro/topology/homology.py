@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+from ..engine.cache import cached_kernel
 from ..errors import TopologyError
 from .complexes import SimplicialComplex
 from .simplex import Simplex, stable_key
@@ -91,10 +92,19 @@ def rank_gf2(columns: list[int]) -> int:
     return rank
 
 
+@cached_kernel(
+    name="betti_numbers",
+    key=lambda complex_, field="gf2": (complex_, field),
+)
 def betti_numbers(
     complex_: SimplicialComplex, field: str = "gf2"
 ) -> tuple[int, ...]:
-    """Unreduced Betti numbers ``(b_0, ..., b_dim)`` over the chosen field."""
+    """Unreduced Betti numbers ``(b_0, ..., b_dim)`` over the chosen field.
+
+    Memoized in the kernel cache: complexes hash by their facet set, so
+    repeated connectivity checks of one uninterpreted complex — and of
+    equal complexes rebuilt at different call sites — rank once.
+    """
     if complex_.is_empty():
         return ()
     dim = complex_.dimension

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from itertools import product
 
 from ..agreement.views import ObliviousView
+from ..engine.cache import cached_kernel
+from ..engine.canonical import graph_set_key
 from ..errors import VerificationError
 from ..graphs.digraph import Digraph
 
@@ -248,8 +250,22 @@ def decide_one_round_solvability(
     to witness impossibility: a violation needs ``k + 1`` distinct decided
     values.  A SAT answer over ``graphs`` that are the *complete* model is
     a genuine algorithm; over a subset it only means "not disproved here".
+
+    Results are memoized per *graph set* (order- and duplicate-insensitive)
+    in the kernel cache.  Every field of the verdict is a function of the
+    set; the witness ``decision_map`` is one valid witness for it, shared
+    across equal sets.  Treat the returned result as immutable.
     """
     if values is None:
         values = tuple(range(k + 1))
-    search = SolvabilitySearch(graphs, k, values)
-    return search.solve()
+    return _decide_one_round_solvability(tuple(graphs), k, tuple(values))
+
+
+@cached_kernel(
+    name="one_round_solvability",
+    key=lambda graphs, k, values: (graph_set_key(graphs), k, values),
+)
+def _decide_one_round_solvability(
+    graphs: tuple[Digraph, ...], k: int, values: tuple[Hashable, ...]
+) -> SolvabilityResult:
+    return SolvabilitySearch(graphs, k, values).solve()

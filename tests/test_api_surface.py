@@ -25,6 +25,7 @@ class TestPackageSurface:
         import repro.analysis
         import repro.bounds
         import repro.combinatorics
+        import repro.engine
         import repro.graphs
         import repro.models
         import repro.topology
@@ -35,6 +36,7 @@ class TestPackageSurface:
             repro.analysis,
             repro.bounds,
             repro.combinatorics,
+            repro.engine,
             repro.graphs,
             repro.models,
             repro.topology,
@@ -44,7 +46,7 @@ class TestPackageSurface:
                 assert getattr(module, name) is not None, (module, name)
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_quickstart_docstring_example(self):
         """The example in repro.__doc__ must keep working."""

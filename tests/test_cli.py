@@ -86,6 +86,38 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "E2" in out and "p1" in out
 
+    def test_table_footer_reports_cache_counts(self, capsys):
+        assert main(["experiments", "E2"]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out and "misses" in out
+
+    @staticmethod
+    def _table_bodies(out: str) -> list[str]:
+        """Table rows only — timings and cache footers legitimately vary."""
+        return [
+            line
+            for line in out.splitlines()
+            if line and not line.startswith(("##", "```", "[cache:", "ran "))
+        ]
+
+    def test_parallel_jobs_match_serial(self, capsys):
+        assert main(["experiments", "E2", "E13"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiments", "E2", "E13", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert self._table_bodies(parallel) == self._table_bodies(serial)
+        assert "2 workers" in parallel
+
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiments", "E99"])
+
+
+class TestCacheStats:
+    def test_probe_prints_speedup_and_kernels(self, capsys):
+        assert main(["cache-stats", "--n", "4", "--passes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pass 1 (cold)" in out
+        assert "warm speedup" in out
+        assert "kernel cache:" in out
+        assert "domination_number" in out
