@@ -21,8 +21,13 @@ The library provides, from scratch:
   interning, the process-global :class:`~repro.engine.cache.KernelCache`
   that memoizes the hot kernels across call sites, and the
   ``multiprocessing`` batch driver behind every parallel workload;
+* :mod:`repro.store` — the persistent second tier: a SQLite-backed,
+  content-addressed result store (``REPRO_STORE=rw``) that warm-starts
+  fresh processes from everything earlier processes computed, with
+  per-kernel implementation versioning;
 * :mod:`repro.analysis` — the experiment tables (E1..E16) reproducing every
-  figure and worked example of the paper.
+  figure and worked example of the paper, plus the sharded resumable
+  solvability sweeps (``python -m repro sweep``).
 
 Architecture: the engine layer
 ------------------------------
@@ -33,7 +38,12 @@ memoized under canonical keys — isomorphism-invariant for small graphs,
 so a whole symmetric orbit shares one cache entry for label-invariant
 numbers; exact adjacency otherwise — and the cache can be disabled at any
 time (``repro.engine.cache_disabled()`` or ``REPRO_NO_CACHE=1``) with
-identical results.  Batch workloads fan out with
+identical results.  Kernel misses fall through to the persistent result
+store when it is enabled (``REPRO_STORE=rw``), so reruns in new
+processes start warm; results carry per-kernel implementation versions,
+and the store can be switched off per block with
+``repro.store.disabled()`` — again with identical results.  Batch
+workloads fan out with
 :func:`repro.engine.run_batch`, which keeps the serial ``jobs=1`` path as
 the reference semantics: :func:`repro.bounds.bound_report_many` batches
 bound reports over many models, and ``python -m repro experiments
@@ -62,7 +72,7 @@ from .graphs import Digraph
 from .models import ClosedAboveModel, simple_closed_above, symmetric_closed_above
 from .verification import decide_one_round_solvability, verify_algorithm
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Digraph",

@@ -6,16 +6,27 @@ Usage::
     python -m repro search --family cycle --n 4 --k 1 [--full]
     python -m repro verify --family cycle --n 4 --k 2 [--rounds 3]
     python -m repro experiments [E1 E6 ...] [--jobs 4]
-    python -m repro cache-stats [--n 5] [--passes 3]
+    python -m repro cache-stats [--n 5] [--passes 3] [--json]
+    python -m repro sweep --n 4 [--jobs 4] [--limit K] [--json]
+    python -m repro store stats [--json]
+    python -m repro store probe [--n 5] [--passes 2] [--json]
+    python -m repro store vacuum | clear | integrity
+    python -m repro store export --out backup.sqlite
 
 ``--family`` names any zero/one-argument constructor from
 :mod:`repro.graphs.families` (star, cycle, wheel, path, out_tree,
 tournament, ...); ``union_of_stars`` additionally takes ``--centers``.
+
+Persistence: set ``REPRO_STORE=rw`` (and optionally
+``REPRO_STORE_PATH=...``) to warm-start every command from a persistent
+result store; the ``store`` subcommands manage that file (``--path``
+overrides the environment for one invocation).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import graphs as graph_families
@@ -119,7 +130,143 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
             f"--passes must be at least 2 (one cold, one warm), got {args.passes}"
         )
     report = cache_probe(n=args.n, passes=args.passes)
-    print(report.describe())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.render import render_table
+    from .analysis.sweeps import solvability_sweep
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be a positive integer, got {args.jobs}")
+    report = solvability_sweep(
+        args.n, jobs=args.jobs, limit=args.limit, budget=args.budget
+    )
+    if args.json:
+        payload = {
+            "n": report.n,
+            "total_classes": report.total_classes,
+            "sharded": report.sharded,
+            "resumed": report.resumed,
+            "headers": report.headers,
+            "rows": [[repr(cell) for cell in row] for row in report.rows],
+            "cache": report.batch.stats.to_dict(),
+        }
+        if report.batch.store_stats is not None:
+            payload["store"] = report.batch.store_stats.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_table(report.headers, report.rows))
+        print(report.describe())
+    return 0
+
+
+def _store_for_cli(args: argparse.Namespace, mode: str):
+    """The global store, reconfigured for this invocation when needed.
+
+    ``store`` subcommands should work on an explicit ``--path`` (or the
+    ``REPRO_STORE_PATH`` default) even when ``REPRO_STORE`` is unset, so
+    the management CLI never depends on the tiering switch.
+    """
+    from . import store as store_pkg
+
+    path = args.path or store_pkg.RESULT_STORE.path
+    return store_pkg.configure(path=path, mode=mode)
+
+
+#: ``store`` actions that operate on an *existing* file.  Opening them in
+#: rw mode would otherwise create an empty schema-initialised database as
+#: a side effect, making a typo'd ``--path`` report a vacuously healthy
+#: store.  (``stats`` reports a missing file explicitly; ``probe`` is
+#: expected to create/populate the store.)
+_STORE_ACTIONS_NEED_FILE = ("vacuum", "clear", "export", "integrity")
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    import os
+
+    from . import store as store_pkg
+    from .errors import StoreError
+
+    action = args.action
+    target = args.path or store_pkg.RESULT_STORE.path
+    if action in _STORE_ACTIONS_NEED_FILE and not os.path.exists(target):
+        raise SystemExit(f"store {action}: no store file at {target}")
+    try:
+        if action == "stats":
+            store = _store_for_cli(args, "ro")
+            info = store.db_stats()
+            session = store.stats()
+            if args.json:
+                print(
+                    json.dumps(
+                        {"db": info, "session": session.to_dict()}, indent=2
+                    )
+                )
+            else:
+                print(
+                    f"store {info['path']} (mode {info['mode']}): "
+                    f"{info['entries']} entries, {info['file_bytes']} bytes, "
+                    f"{info['stale_entries']} stale"
+                )
+                for row in info["kernels"]:
+                    marker = " [stale]" if row["stale"] else ""
+                    print(
+                        f"  {row['kernel']} @ {row['version']}: "
+                        f"{row['entries']} entries, "
+                        f"{row['value_bytes']} bytes{marker}"
+                    )
+        elif action == "probe":
+            from .engine.diagnostics import store_probe
+
+            _store_for_cli(args, "rw")
+            report = store_probe(n=args.n, passes=args.passes)
+            if args.json:
+                print(json.dumps(report.to_dict(), indent=2))
+            else:
+                print(report.describe())
+        elif action == "vacuum":
+            # Import the kernel-bearing packages so every kernel version
+            # is registered before staleness is judged.
+            from . import analysis  # noqa: F401
+
+            store = _store_for_cli(args, "rw")
+            result = store.vacuum()
+            print(
+                f"vacuum: deleted {result['deleted']} stale entries, "
+                f"{result['remaining']} remain"
+            )
+        elif action == "clear":
+            store = _store_for_cli(args, "rw")
+            removed = store.clear()
+            print(f"clear: removed {removed} entries")
+        elif action == "export":
+            if not args.out:
+                raise SystemExit("store export requires --out PATH")
+            store = _store_for_cli(args, "ro")
+            copied = store.export(args.out)
+            print(f"export: copied {copied} entries to {args.out}")
+        elif action == "integrity":
+            store = _store_for_cli(args, "rw")
+            report = store.integrity_report()
+            if args.json:
+                print(json.dumps(report, indent=2))
+            else:
+                status = "OK" if report["ok"] else "CORRUPT"
+                print(
+                    f"integrity: {status} — {report['entries']} entries, "
+                    f"{report['corrupt']} corrupt, "
+                    f"quick_check={report['quick_check']}"
+                )
+            return 0 if report["ok"] else 1
+        else:  # pragma: no cover - argparse restricts choices
+            raise SystemExit(f"unknown store action {action!r}")
+    except StoreError as exc:
+        raise SystemExit(f"store {action}: {exc}") from exc
     return 0
 
 
@@ -184,7 +331,63 @@ def main(argv: list[str] | None = None) -> int:
     p_cache.add_argument(
         "--passes", type=int, default=3, help="workload passes (first is cold)"
     )
+    p_cache.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
     p_cache.set_defaults(func=cmd_cache_stats)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="exhaustive solvability sweep, sharded by isomorphism class "
+        "(resumable against a persistent store)",
+    )
+    p_sweep.add_argument(
+        "--n", type=int, default=4, help="process count (default: 4)"
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the shards"
+    )
+    p_sweep.add_argument(
+        "--limit", type=int, default=None,
+        help="only run the first K isomorphism classes (incremental runs)",
+    )
+    p_sweep.add_argument(
+        "--budget", type=int, default=1 << 12,
+        help="cap on each shard's fully enumerated model",
+    )
+    p_sweep.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_store = sub.add_parser(
+        "store",
+        help="manage the persistent result store (REPRO_STORE / "
+        "REPRO_STORE_PATH)",
+    )
+    p_store.add_argument(
+        "action",
+        choices=("stats", "probe", "vacuum", "clear", "export", "integrity"),
+    )
+    p_store.add_argument(
+        "--path", help="store file (default: REPRO_STORE_PATH or "
+        ".repro-store.sqlite)",
+    )
+    p_store.add_argument(
+        "--out", help="destination file for 'export'",
+    )
+    p_store.add_argument(
+        "--n", type=int, default=6,
+        help="probe: process count (6 makes the cold pass heavy enough "
+        "that the warm-start speedup is unambiguous)",
+    )
+    p_store.add_argument(
+        "--passes", type=int, default=2, help="probe: workload passes"
+    )
+    p_store.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p_store.set_defaults(func=cmd_store)
 
     args = parser.parse_args(argv)
     return args.func(args)

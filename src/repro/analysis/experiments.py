@@ -69,12 +69,18 @@ def _run_experiment(key: str) -> tuple[list[str], list[list[object]]]:
     return builder()
 
 
-def _cache_footer(stats: CacheStats) -> str:
-    """One-line kernel-cache summary appended under each table."""
-    return (
+def _cache_footer(stats: CacheStats, store_stats=None) -> str:
+    """One-line cache (and, when persistence is on, store) summary."""
+    line = (
         f"cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.0%} hit rate)"
     )
+    if store_stats is not None:
+        line += (
+            f"; store: {store_stats.hits} hits / {store_stats.misses} misses"
+            f" / {store_stats.writes} writes"
+        )
+    return line
 
 
 def run(
@@ -106,14 +112,14 @@ def run(
         print(file=stream)
         print("```", file=stream)
         print(render_table(headers, rows), file=stream)
-        print(f"[{_cache_footer(result.stats)}]", file=stream)
+        print(f"[{_cache_footer(result.stats, result.store_stats)}]", file=stream)
         print("```", file=stream)
         print(file=stream)
     if batch.jobs > 1:
         print(
             f"ran {len(chosen)} experiment(s) on {batch.jobs} workers in "
             f"{wall:.1f}s ({batch.elapsed:.1f}s of compute); "
-            f"{_cache_footer(batch.stats)}",
+            f"{_cache_footer(batch.stats, batch.store_stats)}",
             file=stream,
         )
 

@@ -474,29 +474,6 @@ def e09_covering_sequence_table() -> Table:
 # E10 — exhaustive one-round solvability frontier
 # ----------------------------------------------------------------------
 
-def _e10_row(g: Digraph, n: int) -> list[object]:
-    """One generator of E10; a batch job of
-    :func:`e10_solvability_frontier_table`."""
-    sym = sorted(symmetric_closure([g]))
-    model = symmetric_closed_above([g])
-    report = bound_report(sym)
-    # Exact: smallest k with SAT over the full allowed set.
-    full = sorted(model.iter_graphs(max_graphs=1 << 12))
-    exact = None
-    for k in range(1, n + 1):
-        if decide_one_round_solvability(full, k).solvable:
-            exact = k
-            break
-    lo, hi = report.best_lower.k, report.best_upper.k
-    return [
-        sorted(g.proper_edges()),
-        f"({lo}, {hi}]",
-        exact,
-        exact is not None and lo < exact <= hi,
-        exact == lo + 1,
-    ]
-
-
 def e10_solvability_frontier_table(n: int = 3, jobs: int = 1) -> Table:
     """Exact solvable k for every symmetric model on n processes vs bounds.
 
@@ -504,23 +481,16 @@ def e10_solvability_frontier_table(n: int = 3, jobs: int = 1) -> Table:
     class on ``n`` processes (deduplicated up to isomorphism).  For each,
     finds the exact smallest solvable ``k`` by CSP search over the *full*
     allowed graph set, and compares with the paper's interval.
-    """
-    from ..graphs.generators import iter_all_digraphs
-    from ..graphs.symmetry import iter_isomorphism_classes
 
-    representatives = list(iter_isomorphism_classes(iter_all_digraphs(n)))
-    headers = [
-        "generator (proper edges)",
-        "lower k+1..upper (paper)",
-        "exact solvable k",
-        "within bounds",
-        "tight@exact",
-    ]
-    tasks = [
-        Job(name=f"E10:{index}", fn=_e10_row, args=(g, n))
-        for index, g in enumerate(representatives)
-    ]
-    return headers, list(run_batch(tasks, jobs=jobs).values)
+    Delegates to :func:`repro.analysis.sweeps.solvability_sweep`: each
+    isomorphism class is one resumable shard whose verdict persists in
+    the result store, so reruns (and the ``n = 4`` sweep behind ``python
+    -m repro sweep``) only pay for classes never seen before.
+    """
+    from .sweeps import solvability_sweep
+
+    report = solvability_sweep(n, jobs=jobs)
+    return report.headers, report.rows
 
 
 # ----------------------------------------------------------------------

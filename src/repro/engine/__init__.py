@@ -26,15 +26,28 @@ The cache can be disabled globally (``KERNEL_CACHE.enabled = False``),
 temporarily (:func:`cache_disabled`), or via the ``REPRO_NO_CACHE``
 environment variable; the equivalence tests assert that results are
 identical either way.
+
+Second tier: when :mod:`repro.store` is switched on (``REPRO_STORE=ro``
+or ``rw``), kernel misses fall through to a persistent SQLite result
+store keyed on ``(kernel, implementation version, canonical key)`` before
+computing, and new results are written back in batches — so fresh
+processes (reruns, CI, batch workers) warm-start from everything any
+earlier process computed.  ``run_batch`` drains each worker's store
+writes back to the parent with the job results: the parent is the only
+database writer, and it persists each job as it completes, which is what
+makes sharded sweeps (:mod:`repro.analysis.sweeps`) resumable after a
+kill.
 """
 
 from .batch import BatchResult, Job, JobError, JobResult, run_batch
 from .cache import (
     KERNEL_CACHE,
+    KERNEL_VERSIONS,
     CacheStats,
     KernelCache,
     cache_disabled,
     cached_kernel,
+    kernel_source_version,
 )
 from .canonical import (
     ISO_KEY_MAX_N,
@@ -46,10 +59,12 @@ from .canonical import (
 
 __all__ = [
     "KERNEL_CACHE",
+    "KERNEL_VERSIONS",
     "CacheStats",
     "KernelCache",
     "cache_disabled",
     "cached_kernel",
+    "kernel_source_version",
     "ISO_KEY_MAX_N",
     "adjacency_key",
     "graph_set_key",

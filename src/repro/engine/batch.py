@@ -14,6 +14,14 @@ for priming beyond the parent's state.  Each job ships its cache-stats
 delta back with its result, and the parent absorbs the deltas so global
 statistics reflect work done everywhere.
 
+Persistent store merge: when the result store (:mod:`repro.store`) is in
+``rw`` mode, every job also ships back the store *rows* it queued (its
+write delta) and its store-stats delta.  Only the parent process ever
+writes to SQLite: it absorbs each job's rows as that job completes —
+results stream back in submission order (``imap``), so a run killed
+midway has already persisted every finished job, which is what makes
+sharded sweeps resumable.
+
 Nested batches degrade gracefully: pool workers are daemonic and cannot
 spawn their own pools, so a ``run_batch`` call inside a worker silently
 runs serially instead of crashing.
@@ -60,6 +68,14 @@ class JobResult:
     stats: CacheStats
     """Kernel-cache activity attributable to this job alone."""
 
+    store_stats: object = None
+    """Store-tier activity attributable to this job (``StoreStats`` or
+    ``None`` when the persistent store was off)."""
+
+    store_rows: tuple = ()
+    """Pending store rows this job produced; drained from the executing
+    process so the batch parent is the only SQLite writer."""
+
 
 class JobError(EngineError):
     """A batch job raised; the original exception is chained as cause."""
@@ -78,6 +94,9 @@ class BatchResult:
     jobs: int
     """Worker processes actually used (1 = serial reference path)."""
 
+    store_stats: object = None
+    """Merged store-tier activity (``StoreStats``), ``None`` if off."""
+
     @property
     def values(self) -> tuple[object, ...]:
         return tuple(r.value for r in self.results)
@@ -88,9 +107,26 @@ class BatchResult:
         return sum(r.elapsed for r in self.results)
 
 
+def _active_store():
+    from .. import store as result_store
+
+    return result_store.active_store()
+
+
+def _execute_indexed(
+    item: tuple[int, Job]
+) -> tuple[int, JobResult | tuple[str, str, BaseException]]:
+    """Pool adapter: keep the submission index with the outcome so the
+    parent can consume completions out of order and reorder at the end."""
+    index, job = item
+    return index, _execute_job(job)
+
+
 def _execute_job(job: Job) -> JobResult | tuple[str, str, BaseException]:
-    """Run one job, measuring wall time and the cache-stats delta."""
+    """Run one job, measuring wall time and the cache/store deltas."""
+    store = _active_store()
     before = KERNEL_CACHE.stats()
+    store_before = store.stats() if store is not None else None
     start = time.perf_counter()
     try:
         value = job.run()
@@ -100,7 +136,19 @@ def _execute_job(job: Job) -> JobResult | tuple[str, str, BaseException]:
         return (job.name, f"{type(exc).__name__}: {exc}", exc)
     elapsed = time.perf_counter() - start
     delta = KERNEL_CACHE.stats().delta_since(before)
-    return JobResult(name=job.name, value=value, elapsed=elapsed, stats=delta)
+    store_delta = None
+    store_rows: tuple = ()
+    if store is not None:
+        store_delta = store.stats().delta_since(store_before)
+        store_rows = store.drain_pending()
+    return JobResult(
+        name=job.name,
+        value=value,
+        elapsed=elapsed,
+        stats=delta,
+        store_stats=store_delta,
+        store_rows=store_rows,
+    )
 
 
 def _init_worker(warmup: Callable[[], object] | None) -> None:
@@ -125,7 +173,10 @@ def run_batch(
     ----------
     tasks:
         The jobs to run.  Results are returned positionally; a failing
-        job raises :class:`JobError` with the worker exception chained.
+        job raises :class:`JobError` (the first failure in submission
+        order) with the worker exception chained — after every job has
+        run, so all successful work is already absorbed into cache/store
+        state (resumable sweeps rely on this).
     jobs:
         Worker process count.  ``1`` (default) runs serially in-process —
         the reference path the parallel path must match exactly.  Values
@@ -141,11 +192,37 @@ def run_batch(
     if jobs < 1:
         raise EngineError(f"jobs must be positive, got {jobs}")
     workers = min(jobs, len(tasks))
+    store = _active_store()
+    if store is not None:
+        # Persist (or at least re-own) anything already pending so forked
+        # workers start with an empty write buffer and the per-job drains
+        # attribute rows to the jobs that actually produced them.
+        store.flush()
+
+    def _absorb(outcome: JobResult | tuple) -> None:
+        """Persist one finished job's store writes immediately.
+
+        Called the moment an outcome arrives — out of submission order on
+        the parallel path — so a run killed later has already banked
+        every job finished by then, independent of slower neighbours.
+        """
+        if (
+            store is not None
+            and not isinstance(outcome, tuple)
+            and outcome.store_rows
+        ):
+            store.absorb_rows(outcome.store_rows)
+            store.flush()
+
+    outcomes: list[JobResult | tuple | None] = [None] * len(tasks)
     if workers <= 1 or _in_daemon_process():
+        workers = 1
         if warmup is not None:
             warmup()
-        outcomes = [_execute_job(job) for job in tasks]
-        workers = 1
+        for index, job in enumerate(tasks):
+            outcome = _execute_job(job)
+            _absorb(outcome)
+            outcomes[index] = outcome
     else:
         try:
             context = multiprocessing.get_context("fork")
@@ -154,17 +231,39 @@ def run_batch(
         with context.Pool(
             processes=workers, initializer=_init_worker, initargs=(warmup,)
         ) as pool:
-            outcomes = pool.map(_execute_job, tasks)
-    results = []
+            # imap_unordered (not map): completions stream back as they
+            # finish, so the parent persists each one immediately even
+            # while a slow job holds up earlier submission slots.
+            for index, outcome in pool.imap_unordered(
+                _execute_indexed, list(enumerate(tasks))
+            ):
+                _absorb(outcome)
+                outcomes[index] = outcome
+    results: list[JobResult] = []
     merged = CacheStats()
+    merged_store = None
     for outcome in outcomes:
         if isinstance(outcome, tuple):
             name, message, cause = outcome
             raise JobError(name, message) from cause
+        assert outcome is not None
         results.append(outcome)
         merged = merged.merge(outcome.stats)
+        if outcome.store_stats is not None:
+            merged_store = (
+                outcome.store_stats
+                if merged_store is None
+                else merged_store.merge(outcome.store_stats)
+            )
     if workers > 1:
         # Worker processes mutated their own cache copies; fold their
         # statistics into the parent so cache-stats reports see them.
         KERNEL_CACHE.absorb(merged)
-    return BatchResult(results=tuple(results), stats=merged, jobs=workers)
+        if store is not None and merged_store is not None:
+            store.absorb_stats(merged_store)
+    return BatchResult(
+        results=tuple(results),
+        stats=merged,
+        jobs=workers,
+        store_stats=merged_store,
+    )

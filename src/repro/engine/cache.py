@@ -16,10 +16,23 @@ run_batch` each worker inherits the parent's warm cache at ``fork`` time,
 accumulates its own statistics, and ships the per-job deltas back to the
 parent, which absorbs them so that ``python -m repro cache-stats`` and the
 experiment table footers observe the whole run.
+
+Second tier: when the persistent result store (:mod:`repro.store`) is
+active, a kernel miss falls through to it *before* computing, and freshly
+computed results are written back — so a brand-new process starts warm
+against work any previous process already did.  Each kernel carries a
+*version* (explicit ``@cached_kernel(version=...)`` or a hash of its
+source) that is part of the store identity, ensuring an edited kernel
+never reads results computed by its former implementation.  The store is
+consulted only on the enabled-cache path: :func:`cache_disabled` and
+``REPRO_NO_CACHE`` bypass *all* memoization tiers, keeping the
+uncached reference semantics byte-exact.
 """
 
 from __future__ import annotations
 
+import hashlib
+import inspect
 import os
 from collections import OrderedDict
 from collections.abc import Callable, Iterable
@@ -32,8 +45,10 @@ __all__ = [
     "CacheStats",
     "KernelCache",
     "KERNEL_CACHE",
+    "KERNEL_VERSIONS",
     "cached_kernel",
     "cache_disabled",
+    "kernel_source_version",
 ]
 
 _MISSING = object()
@@ -92,6 +107,20 @@ class CacheStats:
             entries=self.entries,
             by_kernel=tuple(rows),
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (``cache-stats --json`` and CI)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+            "by_kernel": [
+                {"kernel": name, "hits": h, "misses": m}
+                for name, h, m in self.by_kernel
+            ],
+        }
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
@@ -219,10 +248,44 @@ class KernelCache:
 #: The process-global cache every :func:`cached_kernel` routes through.
 KERNEL_CACHE = KernelCache(enabled=not os.environ.get("REPRO_NO_CACHE"))
 
+#: Registry of every decorated kernel's implementation version, populated
+#: at decoration time.  The persistent store uses it to refuse results of
+#: other implementations and to garbage-collect stale rows (``python -m
+#: repro store vacuum``).
+KERNEL_VERSIONS: dict[str, str] = {}
+
 
 def cache_disabled():
     """Context manager disabling the global :data:`KERNEL_CACHE`."""
     return KERNEL_CACHE.disabled()
+
+
+def kernel_source_version(fn: Callable) -> str:
+    """Default kernel version: a short hash of the function's source.
+
+    Any edit to the kernel body changes the version, orphaning its stored
+    results — the safe default.  Kernels whose semantics are stable across
+    cosmetic edits may pin ``@cached_kernel(version="1")`` instead so a
+    reformat does not cold-start the store.  Falls back to the qualified
+    name when source is unavailable (REPLs, frozen builds).
+    """
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):  # pragma: no cover - no source available
+        source = fn.__qualname__
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
+
+
+def _second_tier():
+    """The active persistent store, or ``None``.
+
+    Imported lazily so the engine stays importable without the store
+    package and the store stays importable without the engine; after the
+    first call this is a ``sys.modules`` dictionary hit.
+    """
+    from .. import store as result_store
+
+    return result_store.active_store()
 
 
 def cached_kernel(
@@ -230,6 +293,7 @@ def cached_kernel(
     *,
     key: Callable[..., object] | None = None,
     cache: KernelCache | None = None,
+    version: str | None = None,
 ):
     """Decorator memoizing a pure kernel in the global :class:`KernelCache`.
 
@@ -246,19 +310,30 @@ def cached_kernel(
         :func:`~repro.engine.canonical.iso_key`.
     cache:
         Override the store (tests); defaults to :data:`KERNEL_CACHE`.
+    version:
+        Implementation version for the persistent second tier; defaults
+        to :func:`kernel_source_version`.  Bump an explicit version on
+        any semantic change, or keep the default to invalidate on every
+        source edit.
 
     The undecorated function stays reachable via ``__wrapped__``.
     """
 
     def decorate(fn):
         kernel = name or fn.__qualname__
+        kernel_version = (
+            str(version) if version is not None else kernel_source_version(fn)
+        )
+        KERNEL_VERSIONS[kernel] = kernel_version
         store = cache
 
         @wraps(fn)
         def wrapper(*args, **kwargs):
             target = store if store is not None else KERNEL_CACHE
             if not target.enabled:
-                # Count the bypass as a miss so disabled runs stay observable.
+                # Count the bypass as a miss so disabled runs stay
+                # observable.  The persistent tier is bypassed too:
+                # disabling the cache means "compute the reference value".
                 target.lookup(kernel, None)
                 return fn(*args, **kwargs)
             cache_key = (
@@ -268,11 +343,23 @@ def cached_kernel(
             )
             value = target.lookup(kernel, cache_key)
             if value is _MISSING:
-                value = fn(*args, **kwargs)
+                tier = _second_tier()
+                if tier is not None:
+                    from ..store.backend import MISS as _STORE_MISS
+
+                    stored = tier.load(kernel, kernel_version, cache_key)
+                    if stored is _STORE_MISS:
+                        value = fn(*args, **kwargs)
+                        tier.save(kernel, kernel_version, cache_key, value)
+                    else:
+                        value = stored
+                else:
+                    value = fn(*args, **kwargs)
                 target.store(kernel, cache_key, value)
             return value
 
         wrapper.kernel_name = kernel
+        wrapper.kernel_version = kernel_version
         return wrapper
 
     return decorate

@@ -7,6 +7,12 @@ cache and reports per-pass wall times plus the cache statistics; a healthy
 engine shows the warm passes an order of magnitude faster than the cold
 one.  The CLI (``python -m repro cache-stats``) prints the result, making
 caching regressions observable without a profiler.
+
+:func:`store_probe` is the second-tier counterpart (``python -m repro
+store probe``): it clears the in-process cache *between* passes, so any
+warm-pass speedup is attributable to the persistent store alone — the
+same observation a fresh process rerunning an experiment suite makes.
+Both reports serialise to JSON (``--json``) for CI assertions.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from dataclasses import dataclass
 
 from .cache import KERNEL_CACHE, CacheStats
 
-__all__ = ["ProbeReport", "cache_probe"]
+__all__ = ["ProbeReport", "StoreProbeReport", "cache_probe", "store_probe"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,16 @@ class ProbeReport:
         lines.append(f"warm speedup: {self.speedup:.1f}x")
         lines.append(self.stats.describe())
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation for tooling and CI assertions."""
+        return {
+            "pass_times": list(self.pass_times),
+            "cold_time": self.cold_time,
+            "warm_time": self.warm_time,
+            "speedup": self.speedup,
+            "cache": self.stats.to_dict(),
+        }
 
 
 def _probe_workload(n: int) -> None:
@@ -88,3 +104,97 @@ def cache_probe(n: int = 5, passes: int = 3) -> ProbeReport:
         _probe_workload(n)
         times.append(time.perf_counter() - start)
     return ProbeReport(pass_times=tuple(times), stats=KERNEL_CACHE.stats())
+
+
+@dataclass(frozen=True)
+class StoreProbeReport:
+    """Per-pass wall times with the in-process cache cleared every pass.
+
+    Pass 1 computes (and, in ``rw`` mode, persists); every later pass
+    starts from an empty :data:`KERNEL_CACHE` — a stand-in for a fresh
+    process — so its speed is the store's doing alone.
+    """
+
+    pass_times: tuple[float, ...]
+    cache_stats: CacheStats
+    store_stats: object
+    """Merged :class:`~repro.store.StoreStats` over all passes."""
+    store_path: str
+    store_mode: str
+
+    @property
+    def cold_time(self) -> float:
+        return self.pass_times[0]
+
+    @property
+    def warm_time(self) -> float:
+        """Mean wall time of the warm (second and later) passes."""
+        warm = self.pass_times[1:]
+        return sum(warm) / len(warm)
+
+    @property
+    def speedup(self) -> float:
+        """Cold-pass time over mean warm-pass (fresh-process) time."""
+        return self.cold_time / max(self.warm_time, 1e-9)
+
+    def describe(self) -> str:
+        lines = [
+            f"store: {self.store_path} ({self.store_mode})",
+            f"pass 1 (cold, computes + persists): "
+            f"{self.cold_time * 1000:.1f} ms",
+        ]
+        for index, elapsed in enumerate(self.pass_times[1:], start=2):
+            lines.append(
+                f"pass {index} (fresh cache, warm store): "
+                f"{elapsed * 1000:.1f} ms"
+            )
+        lines.append(f"warm-start speedup: {self.speedup:.1f}x")
+        lines.append(self.store_stats.describe())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "store_path": self.store_path,
+            "store_mode": self.store_mode,
+            "pass_times": list(self.pass_times),
+            "cold_time": self.cold_time,
+            "warm_time": self.warm_time,
+            "speedup": self.speedup,
+            "store": self.store_stats.to_dict(),
+            "cache": self.cache_stats.to_dict(),
+        }
+
+
+def store_probe(n: int = 5, passes: int = 2) -> StoreProbeReport:
+    """Measure what the persistent store buys a brand-new process.
+
+    Requires an active store (``REPRO_STORE=ro|rw``).  The kernel cache
+    is cleared before *every* pass, so pass 2+ can only be fast by
+    warm-starting from the store; against a pre-populated store even the
+    first pass is warm (the probe is then an end-to-end hit check).
+    """
+    from .. import store as result_store
+
+    store = result_store.active_store()
+    if store is None:
+        raise ValueError(
+            "store probe needs an active result store; set REPRO_STORE=rw "
+            "(or ro against an existing store file)"
+        )
+    if passes < 2:
+        raise ValueError(f"need at least 2 passes to compare, got {passes}")
+    baseline = store.stats()
+    times = []
+    for _ in range(passes):
+        KERNEL_CACHE.clear()
+        start = time.perf_counter()
+        _probe_workload(n)
+        times.append(time.perf_counter() - start)
+    store.flush()
+    return StoreProbeReport(
+        pass_times=tuple(times),
+        cache_stats=KERNEL_CACHE.stats(),
+        store_stats=store.stats().delta_since(baseline),
+        store_path=store.path,
+        store_mode=store.mode,
+    )

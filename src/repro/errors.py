@@ -11,6 +11,7 @@ __all__ = [
     "AlgorithmError",
     "VerificationError",
     "EngineError",
+    "StoreError",
 ]
 
 
@@ -44,3 +45,7 @@ class VerificationError(ReproError):
 
 class EngineError(ReproError):
     """Raised by the compute engine (cache misuse, failed batch jobs)."""
+
+
+class StoreError(ReproError):
+    """Raised by the persistent result store (misuse, unwritable mode)."""

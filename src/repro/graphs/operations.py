@@ -14,6 +14,7 @@ from collections.abc import Iterable
 from itertools import product as cartesian_product
 
 from .._bitops import iter_bits
+from ..engine.cache import cached_kernel
 from ..errors import GraphError
 from .digraph import Digraph
 
@@ -66,9 +67,25 @@ def path_product(g: Digraph, h: Digraph) -> Digraph:
 
 
 def graph_power(g: Digraph, r: int) -> Digraph:
-    """``G^r``: the ``r``-fold path product of ``G`` with itself (``r >= 1``)."""
+    """``G^r``: the ``r``-fold path product of ``G`` with itself (``r >= 1``).
+
+    Memoized (kernel ``graph_power``): multi-round bounds query the same
+    powers for every round count, and the persistent store makes repeated
+    experiment runs skip the products entirely.
+    """
     if r < 1:
         raise GraphError(f"graph power needs r >= 1, got {r}")
+    if r == 1:
+        return g
+    return _graph_power(g, r)
+
+
+@cached_kernel(
+    name="graph_power",
+    key=lambda g, r: (g.n, g.out_rows, r),
+    version="1",
+)
+def _graph_power(g: Digraph, r: int) -> Digraph:
     result = g
     for _ in range(r - 1):
         result = path_product(result, g)
@@ -88,13 +105,29 @@ def set_power(s: Iterable[Digraph], r: int) -> frozenset[Digraph]:
     """``S^r``: products of every length-``r`` word over ``S`` (Sec 6).
 
     The result has at most ``|S|**r`` graphs, deduplicated; closed-above
-    multi-round bounds are computed from these generators.
+    multi-round bounds are computed from these generators.  Memoized
+    per (graph set, r) — the remaining heavy multi-round path — so every
+    round-``r`` bound over one model shares a single product sweep.
     """
     generators = frozenset(s)
     if not generators:
         raise GraphError("set power needs a non-empty graph set")
     if r < 1:
         raise GraphError(f"set power needs r >= 1, got {r}")
+    if r == 1:
+        return generators
+    return _set_power(generators, r)
+
+
+@cached_kernel(
+    name="set_power",
+    key=lambda generators, r: (
+        tuple(sorted((g.n, g.out_rows) for g in generators)),
+        r,
+    ),
+    version="1",
+)
+def _set_power(generators: frozenset[Digraph], r: int) -> frozenset[Digraph]:
     result = generators
     for _ in range(r - 1):
         result = set_product(result, generators)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from itertools import product
 
+from ..engine.cache import cached_kernel
 from ..errors import TopologyError
 from .complexes import SimplicialComplex
 from .simplex import Simplex
@@ -112,15 +113,30 @@ class Pseudosphere:
         return m - 2
 
     def to_complex(self) -> SimplicialComplex:
-        """Materialise the facets (one view per non-empty component)."""
-        active = [(p, sorted(vs, key=repr)) for p, vs in self._views.items() if vs]
+        """Materialise the facets (one view per non-empty component).
+
+        Memoized in the kernel cache under the canonical (sorted) view
+        map, so equal pseudospheres built in any process order — and, via
+        the persistent store, in any *process* — materialise once.
+        """
+        # Sorted by repr, like the pre-memoization code: processes and
+        # views only need to be Hashable, not orderable.  Equal
+        # pseudospheres canonicalise to one key; exotic payloads without
+        # a stable repr merely miss the persistent tier (their keys are
+        # unfingerprintable), they don't break.
+        active = tuple(
+            sorted(
+                (
+                    (p, tuple(sorted(vs, key=repr)))
+                    for p, vs in self._views.items()
+                    if vs
+                ),
+                key=repr,
+            )
+        )
         if not active:
             return SimplicialComplex.empty()
-        facets = []
-        names = [p for p, _ in active]
-        for choice in product(*(vs for _, vs in active)):
-            facets.append(Simplex(zip(names, choice)))
-        return SimplicialComplex.from_simplices(facets)
+        return _materialise_pseudosphere(active)
 
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
@@ -136,6 +152,23 @@ class Pseudosphere:
             f"{p!r}: {sorted(vs, key=repr)!r}" for p, vs in self._views.items()
         )
         return f"Pseudosphere({{{inner}}})"
+
+
+@cached_kernel(name="pseudosphere_complex", version="1")
+def _materialise_pseudosphere(
+    active: tuple[tuple[Hashable, tuple], ...]
+) -> SimplicialComplex:
+    """Facet enumeration behind :meth:`Pseudosphere.to_complex`.
+
+    ``active`` is the canonicalised non-empty view map — a deterministic
+    function of the pseudosphere, which is what makes it a valid cache
+    (and store) key.  The returned complex is immutable and shared.
+    """
+    facets = []
+    names = [p for p, _ in active]
+    for choice in product(*(vs for _, vs in active)):
+        facets.append(Simplex(zip(names, choice)))
+    return SimplicialComplex.from_simplices(facets)
 
 
 def pseudosphere_complex(

@@ -16,8 +16,8 @@ pseudospheres).
 from __future__ import annotations
 
 from collections.abc import Sequence
-from itertools import combinations
 
+from ..engine.cache import cached_kernel
 from ..errors import TopologyError
 from .complexes import SimplicialComplex
 from .simplex import Simplex, stable_key
@@ -76,12 +76,28 @@ def find_shelling_order(
     """A shelling order of the complex, or None if it is not shellable.
 
     Raises :class:`TopologyError` on non-pure complexes (the paper only
-    defines shellability for pure ones).
+    defines shellability for pure ones).  The search itself is memoized
+    per complex (kernel ``shelling_order``) — including a stored ``None``
+    for non-shellable complexes — so repeated checks and cross-process
+    reruns skip the exponential DFS; a fresh list is returned each call.
     """
     if complex_.is_empty():
         return []
     if not complex_.is_pure():
         raise TopologyError("shellability is defined for pure complexes only")
+    order = _shelling_order(complex_)
+    return None if order is None else list(order)
+
+
+@cached_kernel(
+    name="shelling_order",
+    key=lambda complex_: complex_,
+    version="1",
+)
+def _shelling_order(
+    complex_: SimplicialComplex,
+) -> tuple[Simplex, ...] | None:
+    """DFS core of :func:`find_shelling_order` on a pure, non-empty complex."""
     facets = sorted(complex_.facets, key=lambda s: stable_key(s.vertices))
     order: list[Simplex] = []
     dead: set[frozenset[Simplex]] = set()
@@ -104,7 +120,7 @@ def find_shelling_order(
         return False
 
     if extend(set(facets)):
-        return order
+        return tuple(order)
     return None
 
 

@@ -252,9 +252,15 @@ def decide_one_round_solvability(
     a genuine algorithm; over a subset it only means "not disproved here".
 
     Results are memoized per *graph set* (order- and duplicate-insensitive)
-    in the kernel cache.  Every field of the verdict is a function of the
-    set; the witness ``decision_map`` is one valid witness for it, shared
-    across equal sets.  Treat the returned result as immutable.
+    in the kernel cache, and — when the persistent store
+    (:mod:`repro.store`) is active — across processes too: the CSP search
+    is the single most expensive kernel in the repo, so warm-starting it
+    is where the store pays for itself.  The kernel version is pinned
+    explicitly (bump it on any change to the search semantics, including
+    witness tie-breaking) so cosmetic edits don't cold-start the store.
+    Every field of the verdict is a function of the set; the witness
+    ``decision_map`` is one valid witness for it, shared across equal
+    sets.  Treat the returned result as immutable.
     """
     if values is None:
         values = tuple(range(k + 1))
@@ -264,6 +270,7 @@ def decide_one_round_solvability(
 @cached_kernel(
     name="one_round_solvability",
     key=lambda graphs, k, values: (graph_set_key(graphs), k, values),
+    version="1",
 )
 def _decide_one_round_solvability(
     graphs: tuple[Digraph, ...], k: int, values: tuple[Hashable, ...]

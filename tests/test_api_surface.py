@@ -28,6 +28,7 @@ class TestPackageSurface:
         import repro.engine
         import repro.graphs
         import repro.models
+        import repro.store
         import repro.topology
         import repro.verification
 
@@ -38,6 +39,7 @@ class TestPackageSurface:
             repro.combinatorics,
             repro.engine,
             repro.graphs,
+            repro.store,
             repro.models,
             repro.topology,
             repro.verification,
@@ -46,7 +48,7 @@ class TestPackageSurface:
                 assert getattr(module, name) is not None, (module, name)
 
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_quickstart_docstring_example(self):
         """The example in repro.__doc__ must keep working."""

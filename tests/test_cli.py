@@ -2,9 +2,23 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+import repro.store as store_pkg
 from repro.__main__ import main
+from repro.engine import KERNEL_CACHE
+
+
+@pytest.fixture
+def tmp_store(tmp_path):
+    """A writable temp store for store/sweep CLI tests, restored after."""
+    KERNEL_CACHE.clear()
+    store = store_pkg.configure(path=tmp_path / "cli.sqlite", mode="rw")
+    yield store
+    store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
+    KERNEL_CACHE.clear()
 
 
 class TestBounds:
@@ -121,3 +135,111 @@ class TestCacheStats:
         assert "warm speedup" in out
         assert "kernel cache:" in out
         assert "domination_number" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["cache-stats", "--n", "4", "--passes", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["speedup"] > 0
+        assert len(payload["pass_times"]) == 2
+        kernels = {row["kernel"] for row in payload["cache"]["by_kernel"]}
+        assert "domination_number" in kernels
+
+
+class TestSweep:
+    def test_limited_sweep_prints_table(self, capsys, tmp_store):
+        assert main(["sweep", "--n", "3", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exact solvable k" in out
+        assert "2/16 isomorphism classes" in out
+
+    def test_sweep_json_reports_resume_counts(self, capsys, tmp_store):
+        assert main(["sweep", "--n", "3", "--limit", "2", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["sharded"] == 2 and first["resumed"] == 0
+        KERNEL_CACHE.clear()
+        store_pkg.configure()  # fresh instance, same file: new process
+        assert main(["sweep", "--n", "3", "--limit", "2", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["resumed"] == 2
+        assert second["rows"] == first["rows"]
+        assert second["store"]["hits"] >= 2
+
+    def test_rejects_non_positive_jobs(self, tmp_store):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--n", "3", "--jobs", "0"])
+
+
+class TestStoreCLI:
+    def test_stats_on_missing_file_is_empty(self, capsys, tmp_path):
+        path = str(tmp_path / "absent.sqlite")
+        try:
+            assert main(["store", "stats", "--path", path, "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["db"]["entries"] == 0
+            assert payload["db"]["exists"] is False
+        finally:
+            store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
+
+    def test_probe_then_stats_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "probe.sqlite")
+        try:
+            code = main(
+                ["store", "probe", "--path", path, "--n", "4", "--json"]
+            )
+            assert code == 0
+            probe = json.loads(capsys.readouterr().out)
+            assert probe["store"]["writes"] > 0
+            assert probe["store"]["hits"] > 0
+            assert main(["store", "stats", "--path", path, "--json"]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["db"]["entries"] > 0
+            kernels = {row["kernel"] for row in stats["db"]["kernels"]}
+            assert "domination_number" in kernels
+        finally:
+            store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
+            KERNEL_CACHE.clear()
+
+    def test_vacuum_clear_export_integrity(self, capsys, tmp_path):
+        path = str(tmp_path / "mgmt.sqlite")
+        out_path = str(tmp_path / "backup.sqlite")
+        try:
+            main(["store", "probe", "--path", path, "--n", "4"])
+            capsys.readouterr()
+            assert main(["store", "integrity", "--path", path]) == 0
+            assert "OK" in capsys.readouterr().out
+            assert main(["store", "vacuum", "--path", path]) == 0
+            assert "vacuum:" in capsys.readouterr().out
+            assert main(
+                ["store", "export", "--path", path, "--out", out_path]
+            ) == 0
+            assert "copied" in capsys.readouterr().out
+            assert main(["store", "clear", "--path", path]) == 0
+            assert "removed" in capsys.readouterr().out
+            assert main(["store", "stats", "--path", path, "--json"]) == 0
+            assert json.loads(capsys.readouterr().out)["db"]["entries"] == 0
+        finally:
+            store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
+            KERNEL_CACHE.clear()
+
+    def test_export_requires_out(self, tmp_path):
+        from repro.store import ResultStore
+
+        path = tmp_path / "x.sqlite"
+        seed = ResultStore(path, mode="rw")
+        seed.save("k", "1", "a", 1)
+        seed.close()
+        try:
+            with pytest.raises(SystemExit, match="--out"):
+                main(["store", "export", "--path", str(path)])
+        finally:
+            store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
+
+    def test_export_refuses_missing_file(self, tmp_path):
+        missing = tmp_path / "absent.sqlite"
+        try:
+            with pytest.raises(SystemExit, match="no store file"):
+                main(["store", "export", "--path", str(missing), "--out",
+                      str(tmp_path / "o.sqlite")])
+            assert not missing.exists()
+        finally:
+            store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")

@@ -1,0 +1,68 @@
+"""Smoke tests for the ``examples/`` scripts (tier-1).
+
+Each example is a user-facing entry point that exercises a wide slice of
+the public API; running it in a subprocess catches import breakage,
+renamed symbols and crashed demos that unit tests structurally miss.
+Every script must exit 0 with no traceback — content assertions stay
+light on purpose so examples remain free to evolve their prose.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(script: Path, extra_env: dict | None = None):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.setdefault("REPRO_STORE", "off")
+    env.update(extra_env or {})
+    return subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5, "examples/ directory went missing or empty"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_clean(script: Path):
+    result = _run(script)
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert "Traceback" not in result.stderr
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_quickstart_with_store_enabled(tmp_path):
+    """The flagship example also runs with persistence switched on."""
+    result = _run(
+        EXAMPLES_DIR / "quickstart.py",
+        extra_env={
+            "REPRO_STORE": "rw",
+            "REPRO_STORE_PATH": str(tmp_path / "example-store.sqlite"),
+        },
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert (tmp_path / "example-store.sqlite").exists()
