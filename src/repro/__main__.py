@@ -5,12 +5,14 @@ Usage::
     python -m repro bounds --family wheel --n 4 [--symmetric] [--rounds 2]
     python -m repro search --family cycle --n 4 --k 1 [--full]
     python -m repro verify --family cycle --n 4 --k 2 [--rounds 3]
-    python -m repro experiments [E1 E6 ...] [--jobs 4]
+    python -m repro experiments [E1 E6 ...] [--jobs 4 | --distributed :7071]
     python -m repro cache-stats [--n 5] [--passes 3] [--json]
-    python -m repro sweep --n 4 [--jobs 4] [--limit K] [--json]
+    python -m repro sweep --n 4 [--jobs 4 | --distributed :7071] [--limit K]
+    python -m repro worker --connect HOST:7071 [--jobs 2] [--retry 30]
     python -m repro store stats [--json]
     python -m repro store probe [--n 5] [--passes 2] [--json]
     python -m repro store vacuum | clear | integrity
+    python -m repro store prune --max-age-days 30 --max-size-mb 256
     python -m repro store export --out backup.sqlite
 
 ``--family`` names any zero/one-argument constructor from
@@ -21,6 +23,12 @@ Persistence: set ``REPRO_STORE=rw`` (and optionally
 ``REPRO_STORE_PATH=...``) to warm-start every command from a persistent
 result store; the ``store`` subcommands manage that file (``--path``
 overrides the environment for one invocation).
+
+Distributed execution: ``--distributed HOST:PORT`` (on ``experiments``
+and ``sweep``) binds a TCP coordinator and serves the same jobs to every
+``python -m repro worker --connect HOST:PORT`` on any machine, instead of
+forking a local pool; results are identical to serial/pool runs and only
+the coordinator writes the result store.
 """
 
 from __future__ import annotations
@@ -113,12 +121,28 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _executor_for(args: argparse.Namespace):
+    """Executor from ``--jobs`` / ``--distributed`` (None = plain jobs)."""
+    if getattr(args, "distributed", None) is None:
+        return None
+    from .dist import make_executor
+    from .errors import DistError
+
+    try:
+        return make_executor(
+            distributed=args.distributed,
+            log=lambda message: print(f"[dist] {message}", file=sys.stderr),
+        )
+    except DistError as exc:
+        raise SystemExit(f"--distributed: {exc}") from exc
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis.experiments import run
 
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be a positive integer, got {args.jobs}")
-    run(args.ids or None, jobs=args.jobs)
+    run(args.ids or None, jobs=args.jobs, executor=_executor_for(args))
     return 0
 
 
@@ -144,7 +168,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be a positive integer, got {args.jobs}")
     report = solvability_sweep(
-        args.n, jobs=args.jobs, limit=args.limit, budget=args.budget
+        args.n,
+        jobs=args.jobs,
+        limit=args.limit,
+        budget=args.budget,
+        executor=_executor_for(args),
     )
     if args.json:
         payload = {
@@ -161,6 +189,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(render_table(report.headers, report.rows))
+        print(report.describe())
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .dist import parse_address, run_workers
+    from .errors import DistError
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be a positive integer, got {args.jobs}")
+    try:
+        host, port = parse_address(args.connect)
+        reports = run_workers(
+            host,
+            port,
+            jobs=args.jobs,
+            retry=args.retry,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+    except DistError as exc:
+        raise SystemExit(f"worker: {exc}") from exc
+    for report in reports:
         print(report.describe())
     return 0
 
@@ -183,7 +233,7 @@ def _store_for_cli(args: argparse.Namespace, mode: str):
 #: a side effect, making a typo'd ``--path`` report a vacuously healthy
 #: store.  (``stats`` reports a missing file explicitly; ``probe`` is
 #: expected to create/populate the store.)
-_STORE_ACTIONS_NEED_FILE = ("vacuum", "clear", "export", "integrity")
+_STORE_ACTIONS_NEED_FILE = ("vacuum", "clear", "export", "integrity", "prune")
 
 
 def cmd_store(args: argparse.Namespace) -> int:
@@ -239,6 +289,22 @@ def cmd_store(args: argparse.Namespace) -> int:
             print(
                 f"vacuum: deleted {result['deleted']} stale entries, "
                 f"{result['remaining']} remain"
+            )
+        elif action == "prune":
+            if args.max_age_days is None and args.max_size_mb is None:
+                raise SystemExit(
+                    "store prune requires --max-age-days and/or --max-size-mb"
+                )
+            store = _store_for_cli(args, "rw")
+            result = store.prune(
+                max_age_days=args.max_age_days,
+                max_size_mb=args.max_size_mb,
+            )
+            print(
+                f"prune: evicted {result['deleted_age']} by age, "
+                f"{result['deleted_size']} by size; "
+                f"{result['remaining']} remain "
+                f"({result['file_bytes']} bytes)"
             )
         elif action == "clear":
             store = _store_for_cli(args, "rw")
@@ -313,13 +379,45 @@ def main(argv: list[str] | None = None) -> int:
     p_verify.add_argument("--samples", type=int, default=5)
     p_verify.set_defaults(func=cmd_verify)
 
+    def add_distributed_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--distributed", metavar="HOST:PORT",
+            help="serve the jobs from a TCP coordinator bound here instead "
+            "of a local pool; run 'python -m repro worker --connect "
+            "HOST:PORT' (any machine) to execute them.  ':PORT' binds "
+            "127.0.0.1; bind 0.0.0.0:PORT explicitly for remote workers "
+            "(trusted networks only — the job protocol is pickled frames)",
+        )
+
     p_exp = sub.add_parser("experiments", help="run experiment tables")
     p_exp.add_argument("ids", nargs="*", help="e.g. E1 E6 (default: all)")
     p_exp.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the experiment batch (default: 1)",
     )
+    add_distributed_arg(p_exp)
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve a distributed coordinator: pull jobs, execute them "
+        "through the local cache/store tiers, stream results back",
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (the --distributed value of the "
+        "sweep/experiments run being served)",
+    )
+    p_worker.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to run against the coordinator (default: 1)",
+    )
+    p_worker.add_argument(
+        "--retry", type=float, default=10.0,
+        help="seconds to keep retrying the initial connection, so workers "
+        "may be started before the coordinator (default: 10)",
+    )
+    p_worker.set_defaults(func=cmd_worker)
 
     p_cache = sub.add_parser(
         "cache-stats",
@@ -358,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
+    add_distributed_arg(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_store = sub.add_parser(
@@ -367,7 +466,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_store.add_argument(
         "action",
-        choices=("stats", "probe", "vacuum", "clear", "export", "integrity"),
+        choices=(
+            "stats", "probe", "vacuum", "clear", "export", "integrity",
+            "prune",
+        ),
     )
     p_store.add_argument(
         "--path", help="store file (default: REPRO_STORE_PATH or "
@@ -375,6 +477,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_store.add_argument(
         "--out", help="destination file for 'export'",
+    )
+    p_store.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="prune: evict rows not used (read or written) in this many days",
+    )
+    p_store.add_argument(
+        "--max-size-mb", type=float, default=None,
+        help="prune: evict least-recently-used rows until the file fits",
     )
     p_store.add_argument(
         "--n", type=int, default=6,

@@ -84,14 +84,19 @@ def _cache_footer(stats: CacheStats, store_stats=None) -> str:
 
 
 def run(
-    selected: list[str] | None = None, stream=None, jobs: int = 1
+    selected: list[str] | None = None,
+    stream=None,
+    jobs: int = 1,
+    executor=None,
 ) -> None:
     """Run the selected experiments (default: all), printing tables.
 
     ``stream`` defaults to the *current* ``sys.stdout`` (resolved at call
     time so output capture/redirection works).  ``jobs`` fans the
-    experiments out over worker processes; tables are printed in request
-    order either way.
+    experiments out over worker processes; an ``executor``
+    (:func:`repro.dist.make_executor`) overrides ``jobs`` and can fan
+    them out over remote workers instead.  Tables are printed in request
+    order either way, byte-identical across all three execution modes.
     """
     if stream is None:
         stream = sys.stdout
@@ -103,7 +108,7 @@ def run(
             )
     tasks = [Job(name=key, fn=_run_experiment, args=(key,)) for key in chosen]
     start = time.perf_counter()
-    batch = run_batch(tasks, jobs=jobs)
+    batch = run_batch(tasks, jobs=jobs, executor=executor)
     wall = time.perf_counter() - start
     for key, result in zip(chosen, batch.results):
         title, _ = EXPERIMENTS[key]

@@ -157,16 +157,19 @@ def bound_report_many(
     rounds: int = 1,
     semantics: str = "pointwise",
     jobs: int = 1,
+    executor=None,
 ) -> list[BoundReport]:
     """Batch :func:`bound_report` over many models, optionally in parallel.
 
     ``models`` is an iterable of generator sets; reports come back in the
     same order.  ``jobs`` is the worker-process count handed to
     :func:`repro.engine.batch.run_batch` — ``jobs=1`` is the serial
-    reference path, and any value produces identical reports.  Kernel
-    results memoized while one model is processed are reused by every
-    later model that shares graphs (within a worker), which is the common
-    case for sweeps over overlapping families.
+    reference path, and any value produces identical reports; an
+    ``executor`` (:func:`repro.dist.make_executor`) overrides ``jobs``
+    and can fan the reports out across hosts, still with identical
+    results.  Kernel results memoized while one model is processed are
+    reused by every later model that shares graphs (within a worker),
+    which is the common case for sweeps over overlapping families.
     """
     prepared = [tuple(generators) for generators in models]
     tasks = [
@@ -178,4 +181,4 @@ def bound_report_many(
         )
         for index, generators in enumerate(prepared)
     ]
-    return list(run_batch(tasks, jobs=jobs).values)
+    return list(run_batch(tasks, jobs=jobs, executor=executor).values)

@@ -1,0 +1,50 @@
+"""Distributed execution: the batch driver generalised beyond one host.
+
+PR 1's ``run_batch`` fans jobs over one machine's cores; this package
+adds the third execution mode — a TCP work queue spanning hosts — behind
+a common executor protocol:
+
+* :mod:`~repro.dist.protocol` — length-prefixed pickled frames with a
+  version handshake (one trust domain; never expose the port publicly);
+* :mod:`~repro.dist.coordinator` — serves jobs, collects results, owns
+  every SQLite write (the PR 2 parent-flush invariant, cluster-wide),
+  requeues jobs whose worker dies or stops heartbeating;
+* :mod:`~repro.dist.worker` — ``python -m repro worker --connect
+  HOST:PORT``; executes jobs through the same kernel-cache/result-store
+  tiers as local runs and streams results + store-row deltas home;
+* :mod:`~repro.dist.executor` — :class:`SerialExecutor` /
+  :class:`PoolExecutor` / :class:`DistExecutor` behind one protocol, and
+  :func:`make_executor` mapping ``--jobs`` / ``--distributed`` onto them.
+
+Delivery is at-least-once with idempotent jobs: results are pure
+functions of content-addressed inputs, so a requeued job's replay is
+harmless and the first result per job wins.  Equivalence tests pin that
+serial, pool, and distributed execution produce identical results.
+"""
+
+from .executor import (
+    DistExecutor,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+    parse_address,
+)
+from .coordinator import Coordinator
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .worker import WorkerReport, run_worker, run_workers
+
+__all__ = [
+    "Coordinator",
+    "DistExecutor",
+    "Executor",
+    "PoolExecutor",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SerialExecutor",
+    "WorkerReport",
+    "make_executor",
+    "parse_address",
+    "run_worker",
+    "run_workers",
+]

@@ -1,0 +1,470 @@
+"""TCP work-queue coordinator: the parent side of a distributed batch.
+
+The coordinator owns a batch of :class:`~repro.engine.batch.Job`\\ s and
+serves them, one at a time, to any worker that connects
+(``python -m repro worker --connect HOST:PORT``).  Semantically it plays
+exactly the role the parent process plays under
+:func:`~repro.engine.batch.run_batch`:
+
+* it is the **only SQLite writer** — each job result arrives with the
+  worker's drained store rows, and the coordinator absorbs and flushes
+  them the moment the result lands, so a run killed at any point (worker
+  or coordinator) has already persisted every finished job;
+* it merges every worker's cache/store statistics deltas into this
+  process's totals, so ``cache-stats`` and experiment footers observe the
+  whole cluster's work;
+* results are collected by submission index and finalized through the
+  same :func:`~repro.engine.batch.finalize_outcomes` path as the serial
+  and pool drivers, which is what pins serial == pool == dist.
+
+Delivery is at-least-once: a job leased to a worker that disconnects or
+stops heartbeating is requeued for the next worker.  Jobs are pure and
+results content-addressed, so replays are harmless — the first result for
+an index wins and late duplicates are dropped.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from ..engine.batch import (
+    BatchResult,
+    Job,
+    JobFailure,
+    JobResult,
+    finalize_outcomes,
+)
+from ..engine.cache import KERNEL_CACHE, CacheStats
+from ..errors import DistError
+from .protocol import PROTOCOL_VERSION, ProtocolError, recv_message, send_message
+
+__all__ = ["Coordinator"]
+
+
+@dataclass
+class _Lease:
+    """One outstanding job assignment: who holds it and until when."""
+
+    owner: int
+    deadline: float
+
+
+class Coordinator:
+    """Serve a batch of jobs to TCP workers and collect their results.
+
+    Parameters
+    ----------
+    tasks:
+        The jobs to distribute.  Results come back in submission order,
+        exactly as from :func:`~repro.engine.batch.run_batch`.
+    host, port:
+        Bind address.  ``port=0`` picks an ephemeral port (``start()``
+        returns the bound address).  Bind to ``127.0.0.1`` (the default)
+        unless remote workers are expected — the protocol is pickled
+        frames inside one trust domain, so only expose the port to hosts
+        you would run code from.
+    lease_timeout:
+        Seconds a leased job may go without a result or heartbeat before
+        it is requeued for another worker.  Workers heartbeat at a third
+        of this interval (told to them in the handshake), so only a dead
+        or wedged worker trips it.
+    warmup:
+        Optional picklable zero-argument callable shipped to each worker
+        in the handshake and run once before its first job — the remote
+        analogue of ``run_batch``'s per-worker warmup.
+    log:
+        Optional callable receiving one-line progress strings (worker
+        connects/disconnects, requeues); silent when ``None``.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[Job],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 60.0,
+        wait_delay: float = 0.25,
+        warmup: Callable[[], object] | None = None,
+        log: Callable[[str], None] | None = None,
+    ):
+        if lease_timeout <= 0:
+            raise DistError(f"lease_timeout must be positive, got {lease_timeout}")
+        self._tasks = list(tasks)
+        self._host = host
+        self._port = port
+        self._lease_timeout = lease_timeout
+        self._wait_delay = wait_delay
+        self._warmup = warmup
+        self._log = log or (lambda message: None)
+
+        self._lock = threading.Lock()
+        self._pending: deque[int] = deque(range(len(self._tasks)))
+        self._leases: dict[int, _Lease] = {}
+        self._outcomes: list[JobResult | JobFailure | None] = [None] * len(
+            self._tasks
+        )
+        self._remaining = len(self._tasks)
+        self._done = threading.Event()
+        if self._remaining == 0:
+            self._done.set()
+        self._workers_seen: set[str] = set()
+        self._requeues = 0
+        self._owner_counter = 0
+        # Stats deltas produced in *other* processes — the only ones this
+        # process must absorb into its cache/store totals at the end (an
+        # in-process worker's activity is already in the live counters).
+        self._remote_cache_delta = CacheStats()
+        self._remote_store_delta = None
+        self._store = None
+        self._owns_store = False
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._listener is None:
+            raise DistError("coordinator not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def requeues(self) -> int:
+        """Jobs requeued after a worker died or went silent."""
+        with self._lock:
+            return self._requeues
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, and start serving in background threads."""
+        if self._listener is not None:
+            return self.address
+        from ..engine.batch import _active_store
+
+        self._store = _active_store()
+        if self._store is not None:
+            # Own anything already pending so per-job absorbs attribute
+            # rows to the jobs that produced them (mirrors run_batch).
+            self._store.flush()
+            # Mark this process as the store's writer so an *in-process*
+            # worker (threaded tests, single-host convenience) does not
+            # flip the shared store into deferred-write worker mode and
+            # stall the per-job flushes.
+            self._store.coordinator_owned += 1
+            self._owns_store = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self._host, self._port))
+        except OSError as exc:
+            listener.close()
+            raise DistError(
+                f"cannot bind coordinator to {self._host}:{self._port}: {exc}"
+            ) from exc
+        listener.listen(32)
+        listener.settimeout(0.2)
+        self._listener = listener
+        accept = threading.Thread(
+            target=self._accept_loop, name="dist-accept", daemon=True
+        )
+        monitor = threading.Thread(
+            target=self._monitor_loop, name="dist-monitor", daemon=True
+        )
+        self._threads = [accept, monitor]
+        accept.start()
+        monitor.start()
+        self._log(f"coordinator listening on {self.address[0]}:{self.address[1]}")
+        return self.address
+
+    def serve(self, *, on_error: str = "raise") -> BatchResult:
+        """Block until every job has a result, then finalize the batch.
+
+        Identical post-processing to :func:`~repro.engine.batch.run_batch`:
+        merged statistics are absorbed into this process's cache/store and
+        the ``on_error`` policy is applied to any failures.
+        """
+        self.start()
+        try:
+            self._done.wait()
+        finally:
+            self.close()
+        with self._lock:
+            outcomes = list(self._outcomes)
+            workers = max(1, len(self._workers_seen))
+            remote_cache = self._remote_cache_delta
+            remote_store = self._remote_store_delta
+        # Absorb only the activity that happened in *other* processes:
+        # an in-process worker already mutated the live counters, and
+        # run_batch's serial path likewise never absorbs its own deltas.
+        KERNEL_CACHE.absorb(remote_cache)
+        if self._store is not None and remote_store is not None:
+            self._store.absorb_stats(remote_store)
+        return finalize_outcomes(
+            [o for o in outcomes if o is not None],
+            workers=workers,
+            store=self._store,
+            on_error=on_error,
+            absorb=False,
+        )
+
+    def close(self) -> None:
+        """Stop accepting and wake the serving threads."""
+        self._closed = True
+        if self._owns_store and self._store is not None:
+            self._store.coordinator_owned -= 1
+            self._owns_store = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "Coordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Background threads
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closed:
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us: shutting down
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, f"{addr[0]}:{addr[1]}"),
+                name=f"dist-conn-{addr[1]}",
+                daemon=True,
+            )
+            handler.start()
+
+    def _monitor_loop(self) -> None:
+        """Requeue jobs whose lease expired (dead or silent worker)."""
+        interval = min(1.0, self._lease_timeout / 4)
+        while not self._closed and not self._done.is_set():
+            now = time.monotonic()
+            with self._lock:
+                expired = [
+                    index
+                    for index, lease in self._leases.items()
+                    if lease.deadline < now
+                ]
+                for index in expired:
+                    del self._leases[index]
+                    self._pending.appendleft(index)
+                    self._requeues += 1
+            for index in expired:
+                self._log(
+                    f"requeued job {index} after {self._lease_timeout:.0f}s "
+                    "without a heartbeat"
+                )
+            self._done.wait(timeout=interval)
+
+    # ------------------------------------------------------------------
+    # Per-connection protocol
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket, peer: str) -> None:
+        with self._lock:
+            self._owner_counter += 1
+            owner = self._owner_counter
+        held: set[int] = set()
+        worker_name = peer
+        try:
+            message = recv_message(conn)
+            if message is None:
+                return
+            kind, payload = message
+            if kind != "hello" or not isinstance(payload, dict):
+                send_message(conn, "reject", {"reason": "expected hello"})
+                return
+            version = payload.get("version")
+            if version != PROTOCOL_VERSION:
+                send_message(
+                    conn,
+                    "reject",
+                    {
+                        "reason": f"protocol version {version} != "
+                        f"{PROTOCOL_VERSION}"
+                    },
+                )
+                return
+            worker_name = str(payload.get("worker") or peer)
+            local = (
+                payload.get("host") == socket.gethostname()
+                and payload.get("pid") == os.getpid()
+            )
+            with self._lock:
+                self._workers_seen.add(worker_name)
+            send_message(
+                conn,
+                "welcome",
+                {
+                    "version": PROTOCOL_VERSION,
+                    "jobs": len(self._tasks),
+                    "warmup": self._warmup,
+                    "heartbeat": self._lease_timeout / 3,
+                },
+            )
+            self._log(f"worker {worker_name} connected")
+            while True:
+                message = recv_message(conn)
+                if message is None:
+                    return  # worker died: finally-block requeues
+                kind, payload = message
+                if kind == "heartbeat":
+                    self._extend_lease(owner, payload.get("index"))
+                    continue
+                if kind == "delta":
+                    self._import_delta(payload, local)
+                    continue
+                if kind == "bye":
+                    return
+                if kind == "result":
+                    index = payload["index"]
+                    self._complete(index, payload["outcome"], local)
+                    held.discard(index)
+                elif kind != "next":
+                    raise ProtocolError(
+                        f"unexpected frame {kind!r} from {worker_name}"
+                    )
+                reply_kind, reply_payload = self._assign(owner, held)
+                send_message(conn, reply_kind, reply_payload)
+                if reply_kind == "done":
+                    self._drain_farewell(conn, local)
+                    return
+        except (ProtocolError, OSError) as exc:
+            self._log(f"worker {worker_name} connection error: {exc}")
+        finally:
+            self._release(owner, held, worker_name)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    # ------------------------------------------------------------------
+    # Queue state transitions (all under the lock)
+    # ------------------------------------------------------------------
+    def _assign(self, owner: int, held: set[int]) -> tuple[str, dict]:
+        with self._lock:
+            if self._remaining == 0:
+                return "done", {}
+            if self._pending:
+                index = self._pending.popleft()
+                self._leases[index] = _Lease(
+                    owner=owner,
+                    deadline=time.monotonic() + self._lease_timeout,
+                )
+                held.add(index)
+                return "job", {"index": index, "job": self._tasks[index]}
+            return "wait", {"delay": self._wait_delay}
+
+    def _extend_lease(self, owner: int, index: object) -> None:
+        with self._lock:
+            lease = self._leases.get(index) if isinstance(index, int) else None
+            if lease is not None and lease.owner == owner:
+                lease.deadline = time.monotonic() + self._lease_timeout
+
+    def _complete(
+        self, index: int, outcome: JobResult | JobFailure, local: bool
+    ) -> None:
+        if not isinstance(index, int) or not 0 <= index < len(self._tasks):
+            raise ProtocolError(f"result for unknown job index {index!r}")
+        with self._lock:
+            self._leases.pop(index, None)
+            if self._outcomes[index] is not None:
+                return  # duplicate of a requeued job: first result won
+            try:
+                # The job may have been requeued and be waiting for the
+                # next worker; this result arrived first, so withdraw it.
+                self._pending.remove(index)
+            except ValueError:
+                pass
+            self._outcomes[index] = outcome
+            self._remaining -= 1
+            done = self._remaining == 0
+            if not local and isinstance(outcome, JobResult):
+                self._remote_cache_delta = self._remote_cache_delta.merge(
+                    outcome.stats
+                )
+                if outcome.store_stats is not None:
+                    self._remote_store_delta = (
+                        outcome.store_stats
+                        if self._remote_store_delta is None
+                        else self._remote_store_delta.merge(outcome.store_stats)
+                    )
+        # Persist outside the queue lock: the store has its own lock, and
+        # a slow flush must not stall assignment to other workers.
+        if self._store is not None and isinstance(outcome, JobResult):
+            self._store.absorb_touches(outcome.store_touches)
+            if outcome.store_rows:
+                self._store.absorb_rows(outcome.store_rows)
+                self._store.flush()
+        if done:
+            self._done.set()
+
+    def _release(self, owner: int, held: set[int], worker: str) -> None:
+        """Requeue every job this connection still holds (worker died)."""
+        requeued = []
+        with self._lock:
+            for index in held:
+                lease = self._leases.get(index)
+                if lease is not None and lease.owner == owner:
+                    del self._leases[index]
+                    self._pending.appendleft(index)
+                    self._requeues += 1
+                    requeued.append(index)
+        for index in requeued:
+            self._log(f"requeued job {index} after {worker} disconnected")
+
+    def _drain_farewell(self, conn: socket.socket, local: bool) -> None:
+        """After ``done``: read the worker's final ``delta``/``bye``.
+
+        The worker answers ``done`` with any store rows it still holds
+        outside a job (warmup strays) and a ``bye``; closing before
+        reading them would discard the rows and hand the worker an
+        ECONNRESET instead of a clean goodbye.  A wedged worker must not
+        hold the handler hostage, hence the short timeout.
+        """
+        try:
+            conn.settimeout(5.0)
+            while True:
+                message = recv_message(conn)
+                if message is None:
+                    return
+                kind, payload = message
+                if kind == "delta":
+                    self._import_delta(payload, local)
+                elif kind == "bye":
+                    return
+        except (ProtocolError, OSError):
+            return
+
+    def _import_delta(self, payload: object, local: bool) -> None:
+        """Absorb stray store rows/touches a worker produced outside jobs.
+
+        A local (in-process) worker's statistics already live in this
+        store's counters, so only its rows and touches are taken.
+        """
+        if self._store is not None:
+            # import_delta validates the payload type itself.
+            self._store.import_delta(payload, stats=not local)

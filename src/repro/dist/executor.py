@@ -1,0 +1,172 @@
+"""One protocol, three executors: serial, process pool, distributed.
+
+Every batch consumer in the codebase — ``run_batch`` itself,
+``bounds.bound_report_many``, the experiment runner, and the sharded
+sweeps — executes through an object satisfying :class:`Executor`:
+
+* :class:`SerialExecutor` — in-process, the reference semantics;
+* :class:`PoolExecutor` — ``multiprocessing`` fan-out over one host's
+  cores (PR 1's driver);
+* :class:`DistExecutor` — a TCP coordinator serving any number of
+  ``python -m repro worker`` processes, on this host or others.
+
+All three return the same :class:`~repro.engine.batch.BatchResult` with
+results in submission order and merged statistics; the equivalence tests
+pin serial == pool == dist.  :func:`make_executor` maps the CLI surface
+(``--jobs N`` / ``--distributed HOST:PORT``) onto the right one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Protocol, runtime_checkable
+
+from ..engine.batch import BatchResult, Job, run_batch
+from ..errors import DistError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "DistExecutor",
+    "make_executor",
+    "parse_address",
+]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run a batch of jobs with run_batch semantics."""
+
+    def run(
+        self,
+        tasks: Sequence[Job],
+        *,
+        warmup: Callable[[], object] | None = None,
+        on_error: str = "raise",
+    ) -> BatchResult: ...
+
+
+class SerialExecutor:
+    """The in-process reference path (``jobs=1``)."""
+
+    jobs = 1
+
+    def run(self, tasks, *, warmup=None, on_error="raise"):
+        return run_batch(tasks, jobs=1, warmup=warmup, on_error=on_error)
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class PoolExecutor:
+    """One host's cores via the ``multiprocessing`` batch driver."""
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise DistError(f"jobs must be positive, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, tasks, *, warmup=None, on_error="raise"):
+        return run_batch(
+            tasks, jobs=self.jobs, warmup=warmup, on_error=on_error
+        )
+
+    def __repr__(self) -> str:
+        return f"PoolExecutor(jobs={self.jobs})"
+
+
+class DistExecutor:
+    """A coordinator serving jobs to TCP workers (multi-host fan-out).
+
+    ``run`` binds the coordinator, serves every connected
+    ``python -m repro worker``, and blocks until all results are in — the
+    store-backed warm start and parent-only SQLite writes of
+    :mod:`repro.dist.coordinator` included.  ``bound_address`` holds the
+    actual ``(host, port)`` once bound (useful with port 0), and
+    ``on_bound`` is called with it so callers can launch workers exactly
+    when the queue is up.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        *,
+        lease_timeout: float = 60.0,
+        log: Callable[[str], None] | None = None,
+        on_bound: Callable[[tuple[str, int]], object] | None = None,
+    ):
+        if isinstance(address, str):
+            address = parse_address(address)
+        self.host, self.port = address
+        self.lease_timeout = lease_timeout
+        self.log = log
+        self.on_bound = on_bound
+        self.bound_address: tuple[str, int] | None = None
+        self.last_requeues = 0
+        self.last_workers = 0
+
+    def run(self, tasks, *, warmup=None, on_error="raise"):
+        from .coordinator import Coordinator
+
+        coordinator = Coordinator(
+            tasks,
+            host=self.host,
+            port=self.port,
+            lease_timeout=self.lease_timeout,
+            warmup=warmup,
+            log=self.log,
+        )
+        with coordinator:
+            self.bound_address = coordinator.address
+            if self.on_bound is not None:
+                self.on_bound(self.bound_address)
+            result = coordinator.serve(on_error=on_error)
+        self.last_requeues = coordinator.requeues
+        self.last_workers = result.jobs
+        return result
+
+    def __repr__(self) -> str:
+        return f"DistExecutor({self.host}:{self.port})"
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT``, ``:PORT`` or bare ``PORT`` into an address.
+
+    An omitted host means ``127.0.0.1`` — serving beyond localhost is an
+    explicit decision (``0.0.0.0:PORT``), since the job protocol is a
+    single-trust-domain transport (see :mod:`repro.dist.protocol`).
+    """
+    spec = spec.strip()
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        host, port_text = "", spec
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise DistError(
+            f"invalid address {spec!r}: expected HOST:PORT or :PORT"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise DistError(f"invalid port {port} in address {spec!r}")
+    return host, port
+
+
+def make_executor(
+    jobs: int = 1,
+    distributed: str | None = None,
+    *,
+    log: Callable[[str], None] | None = None,
+) -> Executor:
+    """Map the CLI surface onto an executor.
+
+    ``distributed`` (a ``HOST:PORT`` / ``:PORT`` spec) wins over ``jobs``;
+    otherwise ``jobs > 1`` selects the pool and ``jobs == 1`` the serial
+    reference path.
+    """
+    if distributed is not None:
+        return DistExecutor(distributed, log=log)
+    if jobs > 1:
+        return PoolExecutor(jobs)
+    return SerialExecutor()

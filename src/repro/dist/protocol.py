@@ -1,0 +1,121 @@
+"""Wire protocol of the distributed work queue.
+
+Everything on the wire is a length-prefixed *frame*: a 4-byte big-endian
+payload length followed by a pickled ``(kind, payload)`` pair.  Pickle is
+acceptable here for the same reason it is in the result store: the
+coordinator and its workers are one trust domain (the same checkout, the
+same operator), and the protocol is a private transport between them —
+never expose a coordinator port to machines you would not run code from.
+
+The conversation, after a version handshake, is worker-driven::
+
+    worker                          coordinator
+    ------                          -----------
+    hello {version, worker}    ->
+                               <-   welcome {version, jobs, warmup}
+    next {}                    ->
+                               <-   job {index, job} | wait {delay} | done {}
+    heartbeat {index}          ->   (one-way, extends the job's lease)
+    result {index, outcome}    ->
+                               <-   job | wait | done      (piggybacked next)
+    delta {rows, stats}        ->   (one-way, stray store rows, e.g. warmup's)
+    bye {}                     ->   (one-way, then close)
+
+``result`` replies double as the next directive so a busy worker pays one
+round trip per job.  Heartbeats are fire-and-forget and never answered,
+which keeps the request/response streams aligned even though a worker's
+heartbeat thread interleaves them with the main loop's requests (sends are
+serialised by a per-socket lock on the worker side).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+from ..errors import EngineError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+    "request",
+]
+
+#: Bumped on any incompatible change; the handshake rejects mismatches
+#: outright rather than guessing at cross-version semantics.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame (a pickled job or result).  Generously
+#: above anything the sweeps ship, and low enough that a corrupt or
+#: malicious length prefix cannot trigger a giant allocation.
+MAX_FRAME = 1 << 28
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(EngineError):
+    """A malformed, oversized, or wrong-version frame."""
+
+
+def send_message(sock: socket.socket, kind: str, payload: object = None) -> None:
+    """Pickle and send one ``(kind, payload)`` frame."""
+    blob = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > MAX_FRAME:
+        raise ProtocolError(
+            f"refusing to send {len(blob)}-byte frame (kind {kind!r})"
+        )
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes, or ``None`` on a clean EOF.
+
+    EOF mid-message is a torn frame and raises; EOF on a frame boundary is
+    how a killed worker (or a finished coordinator) normally looks.
+    """
+    chunks = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(count - received)
+        if not chunk:
+            if received:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> tuple[str, object] | None:
+    """Receive one frame; ``None`` means the peer closed the connection."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds cap {MAX_FRAME}")
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        raise ProtocolError("connection closed between header and payload")
+    try:
+        kind, payload = pickle.loads(blob)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(kind, str):
+        raise ProtocolError(f"frame kind must be a string, got {type(kind)}")
+    return kind, payload
+
+
+def request(
+    sock: socket.socket, kind: str, payload: object = None
+) -> tuple[str, object]:
+    """Send one frame and block for the reply (client-side helper)."""
+    send_message(sock, kind, payload)
+    reply = recv_message(sock)
+    if reply is None:
+        raise ProtocolError(f"peer closed while awaiting reply to {kind!r}")
+    return reply

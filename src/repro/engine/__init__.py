@@ -39,7 +39,16 @@ makes sharded sweeps (:mod:`repro.analysis.sweeps`) resumable after a
 kill.
 """
 
-from .batch import BatchResult, Job, JobError, JobResult, run_batch
+from .batch import (
+    BatchResult,
+    Job,
+    JobError,
+    JobFailure,
+    JobResult,
+    execute_job,
+    finalize_outcomes,
+    run_batch,
+)
 from .cache import (
     KERNEL_CACHE,
     KERNEL_VERSIONS,
@@ -73,6 +82,9 @@ __all__ = [
     "BatchResult",
     "Job",
     "JobError",
+    "JobFailure",
     "JobResult",
+    "execute_job",
+    "finalize_outcomes",
     "run_batch",
 ]

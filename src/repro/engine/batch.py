@@ -6,6 +6,10 @@ the reference path) or on a ``multiprocessing`` pool, returning values in
 submission order together with per-job timings and merged kernel-cache
 statistics.  The two paths are observationally identical: jobs must be
 independent pure computations, so the only difference is wall-clock.
+A third path — a TCP work queue spanning hosts — lives in
+:mod:`repro.dist`; pass any of its executors via ``executor=`` (or build
+one with :func:`repro.dist.make_executor`) and the same jobs run
+cluster-wide with the same results.
 
 Worker caches: on fork-capable platforms every worker inherits the
 parent's warm :data:`~repro.engine.cache.KERNEL_CACHE` at fork time; an
@@ -18,9 +22,17 @@ Persistent store merge: when the result store (:mod:`repro.store`) is in
 ``rw`` mode, every job also ships back the store *rows* it queued (its
 write delta) and its store-stats delta.  Only the parent process ever
 writes to SQLite: it absorbs each job's rows as that job completes —
-results stream back in submission order (``imap``), so a run killed
-midway has already persisted every finished job, which is what makes
-sharded sweeps resumable.
+completions stream back unordered, so a run killed midway has already
+persisted every finished job, which is what makes sharded sweeps
+resumable.  The distributed executor preserves the same invariant with
+the coordinator in the parent role.
+
+Failures: every job runs to completion regardless of earlier failures,
+and each failure is recorded as a :class:`JobFailure` naming the job that
+raised.  ``on_error="raise"`` (the default) then raises a single
+:class:`JobError` enumerating *all* failed jobs; ``on_error="collect"``
+instead returns the failures on ``BatchResult.failures`` so sweep-style
+callers can bank the successes and retry the rest.
 
 Nested batches degrade gracefully: pool workers are daemonic and cannot
 spawn their own pools, so a ``run_batch`` call inside a worker silently
@@ -31,22 +43,32 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import traceback as _traceback
 from collections.abc import Callable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..errors import EngineError
 from .cache import KERNEL_CACHE, CacheStats
 
-__all__ = ["Job", "JobResult", "JobError", "BatchResult", "run_batch"]
+__all__ = [
+    "Job",
+    "JobResult",
+    "JobFailure",
+    "JobError",
+    "BatchResult",
+    "run_batch",
+    "execute_job",
+    "finalize_outcomes",
+]
 
 
 @dataclass(frozen=True)
 class Job:
     """One unit of batch work: ``fn(*args, **kwargs)``.
 
-    ``fn`` must be an importable module-level callable (pool workers
-    receive jobs by pickling) and, like every cached kernel, must be a
-    pure function of its arguments.
+    ``fn`` must be an importable module-level callable (pool and remote
+    workers receive jobs by pickling) and, like every cached kernel, must
+    be a pure function of its arguments.
     """
 
     name: str
@@ -76,13 +98,68 @@ class JobResult:
     """Pending store rows this job produced; drained from the executing
     process so the batch parent is the only SQLite writer."""
 
+    store_touches: tuple = ()
+    """Last-used refreshes for store rows this job read (drained like
+    ``store_rows``; the parent applies them so prune's recency signal
+    survives pool/dist execution)."""
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One failed job: the name that raised plus the failure detail.
+
+    ``cause`` carries the original exception when it is available in this
+    process (serial path, pool workers); remote workers ship ``None`` with
+    the formatted ``traceback`` instead, since arbitrary exceptions do not
+    survive the wire.
+    """
+
+    name: str
+    message: str
+    index: int = -1
+    """Submission index of the failed job (-1 when unknown)."""
+    traceback: str | None = None
+    cause: BaseException | None = None
+
+    def sanitized(self) -> "JobFailure":
+        """A copy safe to pickle across hosts (exception object dropped)."""
+        tb = self.traceback
+        if tb is None and self.cause is not None:
+            tb = "".join(
+                _traceback.format_exception(
+                    type(self.cause), self.cause, self.cause.__traceback__
+                )
+            )
+        return replace(self, cause=None, traceback=tb)
+
 
 class JobError(EngineError):
-    """A batch job raised; the original exception is chained as cause."""
+    """One or more batch jobs raised.
 
-    def __init__(self, job_name: str, message: str):
-        super().__init__(f"job {job_name!r} failed: {message}")
-        self.job_name = job_name
+    ``failures`` lists every :class:`JobFailure` of the batch (not just the
+    first), so multi-failure batches are fully diagnosable from the single
+    exception; the first failure's original exception is chained as cause.
+    """
+
+    def __init__(
+        self, failures: Sequence[JobFailure] | JobFailure, message: str | None = None
+    ):
+        if isinstance(failures, JobFailure):
+            failures = (failures,)
+        failures = tuple(failures)
+        if not failures:
+            raise ValueError("JobError needs at least one failure")
+        first = failures[0]
+        if message is None:
+            message = f"job {first.name!r} failed: {first.message}"
+            if len(failures) > 1:
+                others = ", ".join(repr(f.name) for f in failures[1:])
+                message += (
+                    f" (+{len(failures) - 1} more failed job(s): {others})"
+                )
+        super().__init__(message)
+        self.failures = failures
+        self.job_name = first.name
 
 
 @dataclass(frozen=True)
@@ -92,10 +169,15 @@ class BatchResult:
     results: tuple[JobResult, ...]
     stats: CacheStats
     jobs: int
-    """Worker processes actually used (1 = serial reference path)."""
+    """Worker processes actually used (1 = serial reference path; for the
+    distributed executor, the number of distinct workers that served)."""
 
     store_stats: object = None
     """Merged store-tier activity (``StoreStats``), ``None`` if off."""
+
+    failures: tuple[JobFailure, ...] = ()
+    """Failed jobs, by name and submission index (``on_error="collect"``);
+    always empty on the default raising path."""
 
     @property
     def values(self) -> tuple[object, ...]:
@@ -115,15 +197,24 @@ def _active_store():
 
 def _execute_indexed(
     item: tuple[int, Job]
-) -> tuple[int, JobResult | tuple[str, str, BaseException]]:
+) -> tuple[int, JobResult | JobFailure]:
     """Pool adapter: keep the submission index with the outcome so the
     parent can consume completions out of order and reorder at the end."""
     index, job = item
-    return index, _execute_job(job)
+    outcome = execute_job(job)
+    if isinstance(outcome, JobFailure):
+        outcome = replace(outcome, index=index)
+    return index, outcome
 
 
-def _execute_job(job: Job) -> JobResult | tuple[str, str, BaseException]:
-    """Run one job, measuring wall time and the cache/store deltas."""
+def execute_job(job: Job) -> JobResult | JobFailure:
+    """Run one job, measuring wall time and the cache/store deltas.
+
+    This is the single execution primitive shared by the serial path, the
+    pool workers, and the remote workers of :mod:`repro.dist`: whatever
+    process calls it, the returned payload carries everything the batch
+    parent needs (value, timings, cache delta, drained store rows).
+    """
     store = _active_store()
     before = KERNEL_CACHE.stats()
     store_before = store.stats() if store is not None else None
@@ -131,16 +222,22 @@ def _execute_job(job: Job) -> JobResult | tuple[str, str, BaseException]:
     try:
         value = job.run()
     except Exception as exc:
-        # Re-raised as JobError in the parent; KeyboardInterrupt/SystemExit
+        # Converted to JobError by the parent; KeyboardInterrupt/SystemExit
         # propagate so Ctrl-C keeps its semantics on the serial path.
-        return (job.name, f"{type(exc).__name__}: {exc}", exc)
+        return JobFailure(
+            name=job.name,
+            message=f"{type(exc).__name__}: {exc}",
+            cause=exc,
+        )
     elapsed = time.perf_counter() - start
     delta = KERNEL_CACHE.stats().delta_since(before)
     store_delta = None
     store_rows: tuple = ()
+    store_touches: tuple = ()
     if store is not None:
         store_delta = store.stats().delta_since(store_before)
         store_rows = store.drain_pending()
+        store_touches = store.drain_touches()
     return JobResult(
         name=job.name,
         value=value,
@@ -148,6 +245,64 @@ def _execute_job(job: Job) -> JobResult | tuple[str, str, BaseException]:
         stats=delta,
         store_stats=store_delta,
         store_rows=store_rows,
+        store_touches=store_touches,
+    )
+
+
+def finalize_outcomes(
+    outcomes: Sequence[JobResult | JobFailure],
+    *,
+    workers: int,
+    store,
+    on_error: str = "raise",
+    absorb: bool | None = None,
+) -> BatchResult:
+    """Merge per-job outcomes into a :class:`BatchResult`.
+
+    Shared by :func:`run_batch` and the distributed coordinator: folds the
+    per-job cache/store deltas together, absorbs them into this process's
+    cache and store statistics when the work happened elsewhere
+    (``absorb``, defaulting to ``workers > 1``), and applies the
+    ``on_error`` policy to any :class:`JobFailure` outcomes.
+    """
+    if on_error not in ("raise", "collect"):
+        raise EngineError(
+            f"on_error must be 'raise' or 'collect', got {on_error!r}"
+        )
+    results: list[JobResult] = []
+    failures: list[JobFailure] = []
+    merged = CacheStats()
+    merged_store = None
+    for outcome in outcomes:
+        if isinstance(outcome, JobFailure):
+            failures.append(outcome)
+            continue
+        assert outcome is not None
+        results.append(outcome)
+        merged = merged.merge(outcome.stats)
+        if outcome.store_stats is not None:
+            merged_store = (
+                outcome.store_stats
+                if merged_store is None
+                else merged_store.merge(outcome.store_stats)
+            )
+    if absorb is None:
+        absorb = workers > 1
+    if absorb:
+        # Worker processes mutated their own cache copies; fold their
+        # statistics into the parent so cache-stats reports see them.
+        KERNEL_CACHE.absorb(merged)
+        if store is not None and merged_store is not None:
+            store.absorb_stats(merged_store)
+    if failures and on_error == "raise":
+        error = JobError(failures)
+        raise error from failures[0].cause
+    return BatchResult(
+        results=tuple(results),
+        stats=merged,
+        jobs=workers,
+        store_stats=merged_store,
+        failures=tuple(failures),
     )
 
 
@@ -166,17 +321,18 @@ def run_batch(
     *,
     jobs: int = 1,
     warmup: Callable[[], object] | None = None,
+    on_error: str = "raise",
+    executor=None,
 ) -> BatchResult:
     """Execute ``tasks`` and return their results in submission order.
 
     Parameters
     ----------
     tasks:
-        The jobs to run.  Results are returned positionally; a failing
-        job raises :class:`JobError` (the first failure in submission
-        order) with the worker exception chained — after every job has
-        run, so all successful work is already absorbed into cache/store
-        state (resumable sweeps rely on this).
+        The jobs to run.  Results are returned positionally.  Failing jobs
+        never stop the batch: every job runs, successful work is absorbed
+        into cache/store state (resumable sweeps rely on this), and only
+        then is the ``on_error`` policy applied.
     jobs:
         Worker process count.  ``1`` (default) runs serially in-process —
         the reference path the parallel path must match exactly.  Values
@@ -187,7 +343,17 @@ def run_batch(
         before any job, for cache priming (fork workers already inherit
         the parent's warm cache; this matters on spawn platforms or when
         priming beyond the parent's state).
+    on_error:
+        ``"raise"`` (default) raises one :class:`JobError` enumerating
+        every failed job; ``"collect"`` returns them on
+        ``BatchResult.failures`` instead.
+    executor:
+        Optional :mod:`repro.dist` executor; when given, ``jobs`` is
+        ignored and the batch is delegated to it (``DistExecutor`` runs
+        the same jobs across hosts with identical results).
     """
+    if executor is not None:
+        return executor.run(tasks, warmup=warmup, on_error=on_error)
     tasks = list(tasks)
     if jobs < 1:
         raise EngineError(f"jobs must be positive, got {jobs}")
@@ -199,28 +365,28 @@ def run_batch(
         # attribute rows to the jobs that actually produced them.
         store.flush()
 
-    def _absorb(outcome: JobResult | tuple) -> None:
+    def _absorb(outcome: JobResult | JobFailure) -> None:
         """Persist one finished job's store writes immediately.
 
         Called the moment an outcome arrives — out of submission order on
         the parallel path — so a run killed later has already banked
         every job finished by then, independent of slower neighbours.
         """
-        if (
-            store is not None
-            and not isinstance(outcome, tuple)
-            and outcome.store_rows
-        ):
-            store.absorb_rows(outcome.store_rows)
-            store.flush()
+        if store is not None and isinstance(outcome, JobResult):
+            store.absorb_touches(outcome.store_touches)
+            if outcome.store_rows:
+                store.absorb_rows(outcome.store_rows)
+                store.flush()
 
-    outcomes: list[JobResult | tuple | None] = [None] * len(tasks)
+    outcomes: list[JobResult | JobFailure | None] = [None] * len(tasks)
     if workers <= 1 or _in_daemon_process():
         workers = 1
         if warmup is not None:
             warmup()
         for index, job in enumerate(tasks):
-            outcome = _execute_job(job)
+            outcome = execute_job(job)
+            if isinstance(outcome, JobFailure):
+                outcome = replace(outcome, index=index)
             _absorb(outcome)
             outcomes[index] = outcome
     else:
@@ -239,31 +405,9 @@ def run_batch(
             ):
                 _absorb(outcome)
                 outcomes[index] = outcome
-    results: list[JobResult] = []
-    merged = CacheStats()
-    merged_store = None
-    for outcome in outcomes:
-        if isinstance(outcome, tuple):
-            name, message, cause = outcome
-            raise JobError(name, message) from cause
-        assert outcome is not None
-        results.append(outcome)
-        merged = merged.merge(outcome.stats)
-        if outcome.store_stats is not None:
-            merged_store = (
-                outcome.store_stats
-                if merged_store is None
-                else merged_store.merge(outcome.store_stats)
-            )
-    if workers > 1:
-        # Worker processes mutated their own cache copies; fold their
-        # statistics into the parent so cache-stats reports see them.
-        KERNEL_CACHE.absorb(merged)
-        if store is not None and merged_store is not None:
-            store.absorb_stats(merged_store)
-    return BatchResult(
-        results=tuple(results),
-        stats=merged,
-        jobs=workers,
-        store_stats=merged_store,
+    return finalize_outcomes(
+        [o for o in outcomes if o is not None],
+        workers=workers,
+        store=store,
+        on_error=on_error,
     )

@@ -12,6 +12,7 @@ __all__ = [
     "VerificationError",
     "EngineError",
     "StoreError",
+    "DistError",
 ]
 
 
@@ -49,3 +50,7 @@ class EngineError(ReproError):
 
 class StoreError(ReproError):
     """Raised by the persistent result store (misuse, unwritable mode)."""
+
+
+class DistError(EngineError):
+    """Raised by the distributed executor (connection/handshake failures)."""

@@ -42,6 +42,7 @@ from .backend import (
     MISS,
     MODES,
     ResultStore,
+    StoreDelta,
     StoreError,
     StoreRow,
     StoreStats,
@@ -52,6 +53,7 @@ __all__ = [
     "MISS",
     "MODES",
     "ResultStore",
+    "StoreDelta",
     "StoreError",
     "StoreRow",
     "StoreStats",

@@ -13,12 +13,18 @@ Design points:
   batch-size high-water mark, :func:`run_batch` progress, or exit).  The
   pending list doubles as a read-through overlay so an unflushed row is
   already visible to :meth:`load`.
-* **Fork safety.**  Connections are opened lazily and keyed on the owning
-  PID; a worker forked by :func:`~repro.engine.batch.run_batch` never
-  touches the parent's connection.  Workers (daemonic processes) never
-  auto-flush — the batch driver drains their pending rows back to the
-  parent with the job results, which is how parallel runs populate one
-  store file without concurrent writers.
+* **Fork safety / single writer.**  Connections are opened lazily and
+  keyed on the owning PID; a worker forked by
+  :func:`~repro.engine.batch.run_batch` never touches the parent's
+  connection.  Workers — daemonic pool processes, and any process with
+  :attr:`ResultStore.worker_mode` set (distributed workers) — never
+  auto-flush: the batch driver or coordinator drains their pending rows
+  back to the parent with the job results, which is how parallel and
+  distributed runs populate one store file without concurrent writers.
+* **Last-used tracking.**  Every row records when it last served a hit
+  (``last_used``), updated in the same flush transactions as new rows;
+  :meth:`prune` uses it to evict cold rows by age and to shrink the file
+  under a size cap, so long-lived shared store files stay bounded.
 * **Integrity.**  Every row carries a SHA-256 checksum of its value blob;
   corrupt or unreadable rows are treated as misses and deleted on sight,
   and :meth:`integrity_report` audits the whole file.
@@ -43,7 +49,15 @@ from threading import RLock
 from ..errors import StoreError
 from .keys import fingerprint
 
-__all__ = ["MISS", "StoreError", "StoreStats", "StoreRow", "ResultStore", "MODES"]
+__all__ = [
+    "MISS",
+    "StoreError",
+    "StoreStats",
+    "StoreDelta",
+    "StoreRow",
+    "ResultStore",
+    "MODES",
+]
 
 MODES = ("off", "ro", "rw")
 
@@ -51,16 +65,19 @@ MODES = ("off", "ro", "rw")
 #: perfectly valid stored value (e.g. "no shelling order exists").
 MISS = object()
 
-_SCHEMA_VERSION = 1
+#: v2 added the ``last_used`` column (prune's eviction signal); v1 files
+#: are migrated in place on the first writable connection.
+_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
-    kernel   TEXT NOT NULL,
-    version  TEXT NOT NULL,
-    key_hash TEXT NOT NULL,
-    value    BLOB NOT NULL,
-    checksum TEXT NOT NULL,
-    created  REAL NOT NULL,
+    kernel    TEXT NOT NULL,
+    version   TEXT NOT NULL,
+    key_hash  TEXT NOT NULL,
+    value     BLOB NOT NULL,
+    checksum  TEXT NOT NULL,
+    created   REAL NOT NULL,
+    last_used REAL,
     PRIMARY KEY (kernel, version, key_hash)
 );
 CREATE TABLE IF NOT EXISTS meta (
@@ -150,8 +167,25 @@ class StoreStats:
 
 #: One pending/persisted row: ``(kernel, version, key_hash, blob, checksum,
 #: created)`` — plain picklable tuples so workers can ship them to the
-#: parent with their job results.
+#: parent with their job results.  ``last_used`` starts equal to
+#: ``created`` when the row reaches SQLite.
 StoreRow = tuple[str, str, str, bytes, str, float]
+
+
+@dataclass(frozen=True)
+class StoreDelta:
+    """A worker's exportable store state: rows, touches, a stats delta.
+
+    The picklable unit the distributed workers ship to the coordinator
+    for activity that happened *outside* any job (warmup, stragglers):
+    per-job rows and stats already ride inside each ``JobResult``.
+    """
+
+    rows: tuple[StoreRow, ...] = ()
+    stats: "StoreStats | None" = None
+    touches: tuple = ()
+    """Last-used refreshes (``((kernel, version, key_hash), when)``) for
+    rows this worker served from the store — prune's recency signal."""
 
 
 @dataclass
@@ -191,7 +225,16 @@ class ResultStore:
         self.path = str(path)
         self.mode = mode
         self.batch_size = batch_size
+        #: Distributed-worker switch: when True this process never writes
+        #: SQLite — flush defers, rows accumulate for :meth:`drain_pending`
+        #: / :meth:`export_delta`, exactly like a daemonic pool worker.
+        self.worker_mode = False
+        #: Incremented by a dist coordinator serving from this process:
+        #: an in-process worker must then leave ``worker_mode`` off, or
+        #: it would stall the coordinator's own flushes.
+        self.coordinator_owned = 0
         self._pending: dict[tuple[str, str, str], StoreRow] = {}
+        self._touched: dict[tuple[str, str, str], float] = {}
         self._counters: dict[str, _StoreCounters] = {}
         self._absorbed = StoreStats()
         self._conn: sqlite3.Connection | None = None
@@ -219,6 +262,10 @@ class ResultStore:
             yield self
         finally:
             self.mode = previous
+
+    def _defer_writes(self) -> bool:
+        """True when this process must not touch SQLite (batch/dist worker)."""
+        return self.worker_mode or _in_daemon_process()
 
     # ------------------------------------------------------------------
     # Connection management
@@ -250,13 +297,21 @@ class ResultStore:
                 if self.writable:
                     parent = os.path.dirname(os.path.abspath(self.path))
                     os.makedirs(parent, exist_ok=True)
-                conn = sqlite3.connect(self.path, timeout=30.0)
+                # check_same_thread=False: the dist coordinator flushes
+                # from its connection-handler threads; every use of the
+                # connection is serialised by self._lock, which is the
+                # thread-safety SQLite's own check would otherwise insist
+                # on seeing.
+                conn = sqlite3.connect(
+                    self.path, timeout=30.0, check_same_thread=False
+                )
                 conn.execute("PRAGMA journal_mode=WAL")
                 conn.execute("PRAGMA synchronous=NORMAL")
                 if self.writable:
                     conn.executescript(_SCHEMA)
+                    self._migrate(conn)
                     conn.execute(
-                        "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                        "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
                         ("schema_version", str(_SCHEMA_VERSION)),
                     )
                     conn.commit()
@@ -266,6 +321,20 @@ class ResultStore:
             self._conn = conn
             self._conn_pid = pid
             return conn
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """Bring a pre-existing file up to the current schema in place.
+
+        v1 -> v2: add ``last_used``, seeding it from ``created`` so prune's
+        age cap is immediately meaningful on migrated files.
+        """
+        columns = {
+            row[1] for row in conn.execute("PRAGMA table_info(results)")
+        }
+        if "last_used" not in columns:
+            conn.execute("ALTER TABLE results ADD COLUMN last_used REAL")
+            conn.execute("UPDATE results SET last_used = created")
 
     def close(self) -> None:
         """Flush pending writes and drop the connection."""
@@ -323,6 +392,11 @@ class ResultStore:
                 counters.misses += 1
                 return MISS
             counters.hits += 1
+            if self.writable:
+                # Recency signal for prune: applied in the next flush
+                # transaction; workers ship theirs home with each job
+                # (:meth:`drain_touches`) since their own flush defers.
+                self._touched[(kernel, version, key_hash)] = time.time()
             return value
 
     def save(self, kernel: str, version: str, key: object, value: object) -> None:
@@ -342,7 +416,7 @@ class ResultStore:
         with self._lock:
             self._pending[(kernel, version, key_hash)] = row
             self._counters.setdefault(kernel, _StoreCounters()).writes += 1
-            if len(self._pending) >= self.batch_size and not _in_daemon_process():
+            if len(self._pending) >= self.batch_size and not self._defer_writes():
                 self.flush()
 
     def _drop_row(self, kernel: str, version: str, key_hash: str) -> None:
@@ -367,35 +441,54 @@ class ResultStore:
     def flush(self) -> int:
         """Write all pending rows in one transaction; returns the count.
 
-        Inside a daemonic batch worker this is a no-op that *keeps* the
-        pending rows: the parent process is the only database writer, and
-        the batch driver ships the worker's rows home with its job
-        results (:meth:`drain_pending`).
+        Also applies the accumulated last-used touches in the same
+        transaction.  Inside a batch/dist worker (daemonic process or
+        :attr:`worker_mode`) this is a no-op that *keeps* the pending
+        rows: the parent process is the only database writer, and the
+        batch driver or coordinator ships the worker's rows home with its
+        job results (:meth:`drain_pending` / :meth:`export_delta`).
         """
-        if _in_daemon_process():
+        if self._defer_writes():
             return 0
         with self._lock:
-            if not self._pending or not self.writable:
+            if not self.writable:
                 # Dropping unwritable pendings keeps ro/off stores bounded.
-                count = 0 if self.writable else len(self._pending)
-                if not self.writable:
-                    self._pending.clear()
+                count = len(self._pending)
+                self._pending.clear()
+                self._touched.clear()
                 return count
+            if not self._pending and not self._touched:
+                return 0
             conn = self._connection()
             if conn is None:
                 # Unreadable database: best-effort persistence gives up on
                 # these rows rather than growing the buffer forever.
                 self._pending.clear()
+                self._touched.clear()
                 return 0
             rows = list(self._pending.values())
-            conn.executemany(
-                "INSERT OR REPLACE INTO results "
-                "(kernel, version, key_hash, value, checksum, created) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
-                rows,
-            )
+            if rows:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO results "
+                    "(kernel, version, key_hash, value, checksum, created, "
+                    "last_used) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    [row + (row[5],) for row in rows],
+                )
+            # Touches for rows that are also pending were just written
+            # with last_used = created; the UPDATE below refreshes them.
+            if self._touched:
+                conn.executemany(
+                    "UPDATE results SET last_used = ? "
+                    "WHERE kernel = ? AND version = ? AND key_hash = ?",
+                    [
+                        (when, kernel, version, key_hash)
+                        for (kernel, version, key_hash), when
+                        in self._touched.items()
+                    ],
+                )
             conn.commit()
             self._pending.clear()
+            self._touched.clear()
             return len(rows)
 
     def drain_pending(self) -> tuple[StoreRow, ...]:
@@ -409,6 +502,65 @@ class ResultStore:
             rows = tuple(self._pending.values())
             self._pending.clear()
             return rows
+
+    def drain_touches(self) -> tuple:
+        """Remove and return the accumulated last-used touches.
+
+        A worker's flush never runs, so its touches ride home with each
+        job result (alongside :meth:`drain_pending`'s rows) and the
+        parent applies them via :meth:`absorb_touches` — otherwise rows
+        served inside pool/dist workers would never look recently used
+        and :meth:`prune` would evict the hottest shards first.
+        """
+        with self._lock:
+            touches = tuple(self._touched.items())
+            self._touched.clear()
+            return touches
+
+    def absorb_touches(self, touches) -> None:
+        """Merge drained worker touches for this process's next flush."""
+        if not touches or not self.writable:
+            return
+        with self._lock:
+            for key, when in touches:
+                if self._touched.get(key, 0.0) < when:
+                    self._touched[key] = when
+
+    def export_delta(self, since: "StoreStats | None" = None) -> StoreDelta:
+        """Drain rows + touches plus a stats delta into one picklable unit.
+
+        ``since`` is the baseline the stats delta is computed against
+        (``None`` means "everything this store has seen").  Distributed
+        workers ship these to the coordinator for activity outside any
+        job; :meth:`import_delta` is the receiving side.
+        """
+        with self._lock:
+            rows = self.drain_pending()
+            touches = self.drain_touches()
+            stats = self.stats()
+            if since is not None:
+                stats = stats.delta_since(since)
+            return StoreDelta(rows=rows, stats=stats, touches=touches)
+
+    def import_delta(self, delta: object, *, stats: bool = True) -> None:
+        """Absorb a worker's :class:`StoreDelta` and flush its rows.
+
+        ``stats=False`` skips the statistics merge — used when the delta
+        came from a worker in this very process, whose activity already
+        sits in this store's live counters.
+        """
+        if not isinstance(delta, StoreDelta):
+            return
+        self.absorb_touches(delta.touches)
+        if delta.rows:
+            self.absorb_rows(delta.rows)
+            self.flush()
+        if (
+            stats
+            and delta.stats is not None
+            and delta.stats.lookups + delta.stats.writes
+        ):
+            self.absorb_stats(delta.stats)
 
     def absorb_rows(self, rows: tuple[StoreRow, ...] | list[StoreRow]) -> None:
         """Queue rows drained from a worker for this process's next flush."""
@@ -523,6 +675,97 @@ class ResultStore:
                 "SELECT COUNT(*) FROM results"
             ).fetchone()[0]
             return {"deleted": deleted, "remaining": remaining}
+
+    def prune(
+        self,
+        *,
+        max_age_days: float | None = None,
+        max_size_mb: float | None = None,
+    ) -> dict:
+        """Evict cold rows so long-lived shared store files stay bounded.
+
+        Two independent caps, either or both:
+
+        * ``max_age_days`` — delete rows whose ``last_used`` (falling back
+          to ``created`` for never-read rows) is older than the cutoff;
+        * ``max_size_mb`` — while the database file exceeds the cap,
+          delete the least recently used rows in batches and ``VACUUM``
+          until it fits (or the store is empty).
+
+        Returns ``{"deleted_age", "deleted_size", "remaining",
+        "file_bytes"}``.  Complements :meth:`vacuum`, which evicts by
+        *staleness* (orphaned kernel versions) rather than by recency.
+        """
+        if max_age_days is None and max_size_mb is None:
+            raise StoreError("prune needs max_age_days and/or max_size_mb")
+        if max_age_days is not None and max_age_days < 0:
+            raise StoreError(f"max_age_days must be >= 0, got {max_age_days}")
+        if max_size_mb is not None and max_size_mb <= 0:
+            raise StoreError(f"max_size_mb must be positive, got {max_size_mb}")
+        if not self.writable:
+            raise StoreError("prune needs a writable (rw) store")
+        with self._lock:
+            self.flush()
+            conn = self._connection()
+            if conn is None:
+                raise StoreError(f"store file {self.path} is unreadable")
+            deleted_age = 0
+            if max_age_days is not None:
+                cutoff = time.time() - max_age_days * 86400.0
+                cursor = conn.execute(
+                    "DELETE FROM results "
+                    "WHERE COALESCE(last_used, created) < ?",
+                    (cutoff,),
+                )
+                deleted_age = cursor.rowcount
+            conn.commit()
+            conn.execute("VACUUM")
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            deleted_size = 0
+            if max_size_mb is not None:
+                cap = int(max_size_mb * (1 << 20))
+                while os.path.getsize(self.path) > cap:
+                    # Evict the least recently used rows, but only enough
+                    # of them to cover the overshoot (scaled up for page
+                    # and index overhead the value-length estimate cannot
+                    # see), so a barely-over file loses barely any rows
+                    # rather than a fixed-size chunk.  The candidate fetch
+                    # is windowed: a multi-GB store must not materialise
+                    # its whole table per iteration.
+                    overshoot = os.path.getsize(self.path) - cap
+                    candidates = conn.execute(
+                        "SELECT kernel, version, key_hash, LENGTH(value) "
+                        "FROM results "
+                        "ORDER BY COALESCE(last_used, created) ASC "
+                        "LIMIT 4096"
+                    ).fetchall()
+                    if not candidates:
+                        break  # empty schema still over cap: nothing to do
+                    victims = []
+                    freed = 0
+                    for kernel, version, key_hash, nbytes in candidates:
+                        victims.append((kernel, version, key_hash))
+                        freed += (nbytes or 0) + 512
+                        if freed >= overshoot * 1.25:
+                            break
+                    conn.executemany(
+                        "DELETE FROM results "
+                        "WHERE kernel = ? AND version = ? AND key_hash = ?",
+                        victims,
+                    )
+                    deleted_size += len(victims)
+                    conn.commit()
+                    conn.execute("VACUUM")
+                    conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            remaining = conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+            return {
+                "deleted_age": deleted_age,
+                "deleted_size": deleted_size,
+                "remaining": remaining,
+                "file_bytes": os.path.getsize(self.path),
+            }
 
     def clear(self) -> int:
         """Delete every stored result; returns the number removed."""

@@ -1,0 +1,485 @@
+"""Tests for the distributed executor (repro.dist).
+
+Covers the wire protocol, the executor protocol equivalence
+(serial == pool == dist), at-least-once delivery (requeue on worker
+death and on lease expiry), the coordinator-only SQLite write invariant,
+and a full coordinator + worker-subprocesses integration run of the
+sweep machinery.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro.store as store_pkg
+from repro.analysis.sweeps import solvability_sweep
+from repro.dist import (
+    Coordinator,
+    DistExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+    parse_address,
+)
+from repro.dist.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    request,
+    send_message,
+)
+from repro.dist.worker import run_worker
+from repro.engine import KERNEL_CACHE, Job, JobFailure, JobResult, execute_job
+from repro.errors import DistError
+
+
+def _mul_jobs(count: int = 6) -> list[Job]:
+    """Trivial picklable jobs with distinct, order-revealing values."""
+    return [Job(f"mul[{i}]", operator.mul, (i, 7)) for i in range(count)]
+
+
+@pytest.fixture
+def fresh_cache():
+    KERNEL_CACHE.clear()
+    yield
+    KERNEL_CACHE.clear()
+
+
+@pytest.fixture
+def tmp_store(tmp_path):
+    KERNEL_CACHE.clear()
+    store = store_pkg.configure(path=tmp_path / "dist.sqlite", mode="rw")
+    yield store
+    store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
+    KERNEL_CACHE.clear()
+
+
+class _FakeWorker:
+    """A raw protocol client: lets tests drive (and abuse) the wire."""
+
+    def __init__(self, address, name="fake"):
+        self.sock = socket.create_connection(address, timeout=10.0)
+        self.name = name
+
+    def handshake(self, version=PROTOCOL_VERSION):
+        return request(
+            self.sock, "hello", {"version": version, "worker": self.name}
+        )
+
+    def next_job(self):
+        return request(self.sock, "next", {})
+
+    def finish(self, index, job):
+        outcome = execute_job(job)
+        if isinstance(outcome, JobFailure):
+            outcome = outcome.sanitized()
+        return request(self.sock, "result", {"index": index, "outcome": outcome})
+
+    def close(self):
+        self.sock.close()
+
+
+class TestProtocol:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, "job", {"index": 3, "payload": [1, 2, 3]})
+            kind, payload = recv_message(b)
+            assert kind == "job"
+            assert payload == {"index": 3, "payload": [1, 2, 3]}
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_is_none_and_torn_frame_raises(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_message(b) is None
+        finally:
+            b.close()
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00")  # half a length header, then EOF
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((1 << 31).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_version_mismatch_rejected_by_coordinator(self):
+        with Coordinator(_mul_jobs(1)) as coord:
+            client = _FakeWorker(coord.address)
+            try:
+                kind, payload = client.handshake(version=999)
+                assert kind == "reject"
+                assert "999" in payload["reason"]
+            finally:
+                client.close()
+
+
+class TestParseAddress:
+    def test_forms(self):
+        assert parse_address("1.2.3.4:9000") == ("1.2.3.4", 9000)
+        assert parse_address(":7071") == ("127.0.0.1", 7071)
+        assert parse_address("7071") == ("127.0.0.1", 7071)
+
+    def test_rejects_garbage_and_bad_ports(self):
+        with pytest.raises(DistError):
+            parse_address("host:notaport")
+        with pytest.raises(DistError):
+            parse_address("host:70000")
+
+
+class TestMakeExecutor:
+    def test_selection(self):
+        assert isinstance(make_executor(jobs=1), SerialExecutor)
+        assert isinstance(make_executor(jobs=3), PoolExecutor)
+        dist = make_executor(jobs=3, distributed=":0")
+        assert isinstance(dist, DistExecutor)
+        assert (dist.host, dist.port) == ("127.0.0.1", 0)
+
+
+def _serve_with_local_worker(tasks, *, on_error="raise", **coord_kwargs):
+    """Run a batch through a Coordinator served by one in-thread worker."""
+    coord = Coordinator(tasks, **coord_kwargs)
+    host, port = coord.start()
+    thread = threading.Thread(
+        target=run_worker, args=(host, port), daemon=True
+    )
+    thread.start()
+    result = coord.serve(on_error=on_error)
+    thread.join(timeout=10.0)
+    return result
+
+
+class TestEquivalence:
+    def test_serial_pool_dist_identical_values(self, fresh_cache):
+        tasks = _mul_jobs(8)
+        serial = SerialExecutor().run(tasks)
+        pool = PoolExecutor(2).run(tasks)
+        dist = _serve_with_local_worker(tasks)
+        assert serial.values == pool.values == dist.values
+        assert [r.name for r in dist.results] == [t.name for t in tasks]
+
+    def test_dist_executor_on_bound_and_counters(self, fresh_cache):
+        tasks = _mul_jobs(5)
+        bound = {}
+
+        def launch(address):
+            bound["address"] = address
+            threading.Thread(
+                target=run_worker, args=address, daemon=True
+            ).start()
+
+        executor = DistExecutor(":0", on_bound=launch)
+        result = executor.run(tasks)
+        assert result.values == tuple(i * 7 for i in range(5))
+        assert executor.bound_address == bound["address"]
+        assert executor.last_workers == 1
+        assert executor.last_requeues == 0
+
+    def test_dist_failures_surface_with_job_names(self, fresh_cache):
+        tasks = [
+            Job("ok", operator.mul, (3, 7)),
+            Job("boom", operator.truediv, (1, 0)),
+        ]
+        result = _serve_with_local_worker(tasks, on_error="collect")
+        assert result.values == (21,)
+        (failure,) = result.failures
+        assert failure.name == "boom"
+        assert failure.index == 1
+        assert "ZeroDivisionError" in failure.message
+        assert "division by zero" in failure.traceback
+
+
+class TestAtLeastOnce:
+    def test_requeue_when_worker_dies_holding_a_job(self, fresh_cache):
+        tasks = _mul_jobs(3)
+        with Coordinator(tasks, wait_delay=0.05) as coord:
+            doomed = _FakeWorker(coord.address, name="doomed")
+            kind, _ = doomed.handshake()
+            assert kind == "welcome"
+            kind, payload = doomed.next_job()
+            assert kind == "job"
+            held_index = payload["index"]
+            doomed.close()  # dies mid-job: the lease must be requeued
+
+            deadline = time.monotonic() + 5.0
+            while coord.requeues == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert coord.requeues == 1
+
+            # A healthy worker now completes everything, including the
+            # requeued job the dead worker took down with it.
+            host, port = coord.address
+            threading.Thread(
+                target=run_worker, args=(host, port), daemon=True
+            ).start()
+            result = coord.serve()
+        assert result.values == tuple(i * 7 for i in range(3))
+        assert held_index in range(3)
+
+    def test_requeue_when_lease_expires_without_heartbeat(self, fresh_cache):
+        tasks = _mul_jobs(2)
+        with Coordinator(tasks, lease_timeout=0.3, wait_delay=0.05) as coord:
+            silent = _FakeWorker(coord.address, name="silent")
+            silent.handshake()
+            kind, payload = silent.next_job()
+            assert kind == "job"
+            taken = payload["index"]
+            try:
+                # Stay connected but never heartbeat or answer: a wedged
+                # worker.  The monitor must reclaim the job.
+                deadline = time.monotonic() + 5.0
+                while coord.requeues == 0 and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                assert coord.requeues == 1
+
+                rescuer = _FakeWorker(coord.address, name="rescuer")
+                rescuer.handshake()
+                seen = set()
+                reply = rescuer.next_job()
+                for _ in range(10):
+                    kind, payload = reply
+                    if kind == "done":
+                        break
+                    if kind == "wait":
+                        time.sleep(payload["delay"])
+                        reply = rescuer.next_job()
+                        continue
+                    index = payload["index"]
+                    seen.add(index)
+                    # result replies piggyback the next directive
+                    reply = rescuer.finish(index, tasks[index])
+                rescuer.close()
+                assert taken in seen  # the reclaimed job really was re-served
+            finally:
+                silent.close()
+            result = coord.serve()
+        assert result.values == (0, 7)
+
+    def test_duplicate_result_ignored(self, fresh_cache):
+        tasks = _mul_jobs(1)
+        with Coordinator(tasks, lease_timeout=0.2, wait_delay=0.05) as coord:
+            slow = _FakeWorker(coord.address, name="slow")
+            slow.handshake()
+            kind, payload = slow.next_job()
+            assert kind == "job"
+            index = payload["index"]
+            # Let the lease expire, get the job requeued and completed by
+            # someone else, then deliver the stale duplicate.
+            deadline = time.monotonic() + 5.0
+            while coord.requeues == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            fast = _FakeWorker(coord.address, name="fast")
+            fast.handshake()
+            kind, payload2 = fast.next_job()
+            assert kind == "job" and payload2["index"] == index
+            fast.finish(index, tasks[index])
+            fast.close()
+            kind, _ = slow.finish(index, tasks[index])  # late duplicate
+            assert kind == "done"
+            slow.close()
+            result = coord.serve()
+        assert result.values == (0,)
+
+
+class TestStoreInvariant:
+    def test_worker_mode_defers_all_writes(self, tmp_store):
+        tmp_store.worker_mode = True
+        tmp_store.save("k", "1", ("key",), 42)
+        assert tmp_store.flush() == 0
+        assert not os.path.exists(tmp_store.path)  # nothing ever hit SQLite
+        delta = tmp_store.export_delta()
+        assert len(delta.rows) == 1
+        assert delta.stats.writes == 1
+        tmp_store.worker_mode = False
+        tmp_store.import_delta(delta)
+        assert os.path.exists(tmp_store.path)
+        assert tmp_store.load("k", "1", ("key",)) == 42
+
+    def test_in_thread_worker_with_rw_store_loses_nothing(self, tmp_store):
+        """Regression: a worker thread sharing the coordinator's process
+        must not flip the shared store into deferred-write mode — rows
+        have to reach SQLite and the farewell exchange must complete."""
+        from repro.combinatorics.domination import domination_number
+        from repro.graphs.families import cycle, star, wheel
+
+        graphs = [cycle(5), star(5), wheel(5)]
+        tasks = [
+            Job(f"dom[{i}]", domination_number, (g,))
+            for i, g in enumerate(graphs)
+        ]
+        coord = Coordinator(tasks)
+        host, port = coord.start()
+        outcome = {}
+        thread = threading.Thread(
+            target=lambda: outcome.update(report=run_worker(host, port)),
+            daemon=True,
+        )
+        thread.start()
+        result = coord.serve()
+        thread.join(timeout=10.0)
+        assert result.store_stats is not None
+        assert result.store_stats.writes >= 3
+        assert outcome["report"].clean, "farewell exchange did not complete"
+        assert not tmp_store.worker_mode
+        # Local-worker activity must not be absorbed twice: the store's
+        # totals equal the batch's per-job deltas, not double them.
+        assert tmp_store.stats().writes == result.store_stats.writes
+        assert KERNEL_CACHE.stats().lookups == result.stats.lookups
+        # The rows are genuinely in SQLite, not stranded in a buffer.
+        fresh = store_pkg.ResultStore(tmp_store.path, mode="ro")
+        version = domination_number.kernel_version
+        from repro.engine import iso_key
+
+        assert (
+            fresh.load("domination_number", version, iso_key(cycle(5)))
+            is not store_pkg.MISS
+        )
+        fresh.close()
+
+    def test_coordinator_is_the_only_writer(self, tmp_store):
+        """A dist batch against an rw store: a real worker subprocess
+        computes, but the rows land only via the coordinator's flushes."""
+        from repro.combinatorics.domination import domination_number
+        from repro.graphs.families import cycle, star, wheel
+
+        graphs = [cycle(5), star(5), wheel(5)]
+        tasks = [
+            Job(f"dom[{i}]", domination_number, (g,))
+            for i, g in enumerate(graphs)
+        ]
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env["REPRO_STORE"] = "rw"
+        env["REPRO_STORE_PATH"] = tmp_store.path
+        coord = Coordinator(tasks)
+        address = coord.start()
+        worker = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--connect", f"{address[0]}:{address[1]}", "--retry", "30",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        result = coord.serve()
+        out, _ = worker.communicate(timeout=30)
+        assert worker.returncode == 0, out
+        assert result.values == tuple(
+            domination_number.__wrapped__(g) for g in graphs
+        )
+        assert result.store_stats is not None
+        assert result.store_stats.writes >= 3
+        info = tmp_store.db_stats()
+        kernels = {row["kernel"] for row in info["kernels"]}
+        assert "domination_number" in kernels
+
+
+class TestWorkerSubprocesses:
+    """Coordinator + real `python -m repro worker` subprocesses."""
+
+    @staticmethod
+    def _spawn_worker(address, env, jobs=1):
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--connect", f"{address[0]}:{address[1]}",
+                "--retry", "30", "--jobs", str(jobs),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def test_sweep_distributed_matches_serial(self, tmp_path, fresh_cache):
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env["REPRO_STORE"] = "off"
+        with store_pkg.RESULT_STORE.disabled():
+            serial = solvability_sweep(3, limit=6, executor=SerialExecutor())
+            KERNEL_CACHE.clear()
+
+            workers = []
+            executor = DistExecutor(
+                ":0",
+                on_bound=lambda address: workers.extend(
+                    self._spawn_worker(address, env) for _ in range(2)
+                ),
+            )
+            dist = solvability_sweep(3, limit=6, executor=executor)
+        try:
+            assert dist.rows == serial.rows
+            assert dist.headers == serial.headers
+            served = 0
+            for worker in workers:
+                out, _ = worker.communicate(timeout=30)
+                assert worker.returncode == 0, out
+                match = re.search(r"(\d+) job\(s\) completed", out)
+                assert match, f"worker never reported: {out}"
+                served += int(match.group(1))
+            # Every shard ran remotely (>= because requeues may replay).
+            assert served >= 6
+            assert executor.last_workers == 2
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.kill()
+
+    def test_killed_worker_subprocess_requeues(self, fresh_cache):
+        """Kill -9 a real worker mid-job; the batch must still finish."""
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env["REPRO_STORE"] = "off"
+        tasks = [Job("nap", time.sleep, (30.0,))] + _mul_jobs(2)
+        coord = Coordinator(tasks, wait_delay=0.05)
+        address = coord.start()
+        victim = self._spawn_worker(address, env)
+        # The victim takes the 30s nap job first (submission order).
+        deadline = time.monotonic() + 20.0
+        while not coord._leases and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert coord._leases, "victim never leased a job"
+        victim.kill()
+        deadline = time.monotonic() + 10.0
+        while coord.requeues == 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert coord.requeues >= 1
+        # Replace the nap with an instant job so the rescuer finishes:
+        # at-least-once semantics let us swap the *task list* only because
+        # nothing completed yet and the index is the identity.
+        coord._tasks[0] = Job("nap", operator.mul, (6, 7))
+        host, port = address
+        threading.Thread(
+            target=run_worker, args=(host, port), daemon=True
+        ).start()
+        result = coord.serve()
+        victim.communicate(timeout=10)
+        assert result.values == (42, 0, 7)

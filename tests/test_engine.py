@@ -7,6 +7,7 @@ disabled, and across a ``run_batch`` round-trip.
 
 from __future__ import annotations
 
+import operator
 import pickle
 import random
 
@@ -272,6 +273,65 @@ class TestRunBatch:
         ]
         with pytest.raises(JobError, match="boom"):
             run_batch(tasks, jobs=1)
+
+    def test_multi_failure_batches_name_every_failed_job(self):
+        """Regression: only the first JobError used to be surfaced."""
+        tasks = [
+            Job(name="boom-a", fn=operator.truediv, args=(1, 0)),
+            Job(name="ok", fn=operator.mul, args=(6, 7)),
+            Job(name="boom-b", fn=operator.truediv, args=(2, 0)),
+        ]
+        with pytest.raises(JobError) as excinfo:
+            run_batch(tasks, jobs=1)
+        error = excinfo.value
+        assert [f.name for f in error.failures] == ["boom-a", "boom-b"]
+        assert [f.index for f in error.failures] == [0, 2]
+        assert "boom-a" in str(error) and "boom-b" in str(error)
+        assert isinstance(error.__cause__, ZeroDivisionError)
+
+    def test_collect_mode_returns_failures_in_batch_result(self):
+        tasks = [
+            Job(name="boom", fn=operator.truediv, args=(1, 0)),
+            Job(name="ok", fn=operator.mul, args=(6, 7)),
+        ]
+        batch = run_batch(tasks, jobs=1, on_error="collect")
+        assert batch.values == (42,)
+        (failure,) = batch.failures
+        assert failure.name == "boom"
+        assert failure.index == 0
+        assert "ZeroDivisionError" in failure.message
+
+    def test_collect_mode_matches_across_serial_and_pool(self):
+        tasks = [
+            Job(name=f"job{i}", fn=operator.truediv, args=(i, i % 2))
+            for i in range(6)
+        ]
+        serial = run_batch(tasks, jobs=1, on_error="collect")
+        pool = run_batch(tasks, jobs=3, on_error="collect")
+        assert serial.values == pool.values
+        assert [f.name for f in serial.failures] == [
+            f.name for f in pool.failures
+        ]
+        assert [f.index for f in serial.failures] == [0, 2, 4]
+
+    def test_successes_complete_before_the_batch_raises(self):
+        """A failure must not discard the other jobs' finished work."""
+        tasks = [
+            Job(name="boom", fn=operator.truediv, args=(1, 0)),
+            Job(name="gamma", fn=domination_number, args=(cycle(6),)),
+        ]
+        KERNEL_CACHE.clear()
+        with pytest.raises(JobError, match="boom"):
+            run_batch(tasks, jobs=1)
+
+        def _domination_hits() -> int:
+            rows = {n: h for n, h, _m in KERNEL_CACHE.stats().by_kernel}
+            return rows.get("domination_number", 0)
+
+        # The successful job's kernel result is already cached.
+        hits_before = _domination_hits()
+        domination_number(cycle(6))
+        assert _domination_hits() == hits_before + 1
 
     def test_rejects_non_positive_jobs(self):
         with pytest.raises(Exception, match="jobs"):

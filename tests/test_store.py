@@ -411,6 +411,13 @@ class TestStoreProbe:
             store_probe(n=4)
 
 
+def _load_seed_row() -> int:
+    """Top-level job hitting a pre-seeded store row (touch regression)."""
+    value = store_pkg.RESULT_STORE.load("seed_kernel", "1", ("row", 0))
+    assert value is not store_pkg.MISS
+    return 7
+
+
 def _nested_batch_job(n: int) -> int:
     """Top-level job that itself runs a batch (the E10-inside-worker shape)."""
     batch = run_batch(
@@ -479,6 +486,205 @@ class TestRobustness:
                 assert not missing.exists()  # no side-effect creation
         finally:
             store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
+
+
+def _seed_rows(store: ResultStore, count: int, *, blob_bytes: int = 0) -> None:
+    """Insert ``count`` synthetic rows (optionally padded for size tests)."""
+    payload = "x" * blob_bytes
+    for i in range(count):
+        store.save("seed_kernel", "1", ("row", i), (i, payload))
+    store.flush()
+
+
+class TestPrune:
+    def test_requires_a_cap_and_rw_mode(self, isolated_store, tmp_path):
+        with pytest.raises(StoreError, match="max_age_days"):
+            isolated_store.prune()
+        ro = ResultStore(tmp_path / "ro.sqlite", mode="ro")
+        with pytest.raises(StoreError, match="writable"):
+            ro.prune(max_age_days=1)
+
+    def test_age_cap_evicts_only_cold_rows(self, isolated_store):
+        _seed_rows(isolated_store, 4)
+        conn = isolated_store._connection()
+        # Rows 0 and 1 were last used 10 days ago; 2 and 3 are fresh.
+        import time as _time
+
+        old = _time.time() - 10 * 86400
+        for i in (0, 1):
+            key_hash = store_pkg.fingerprint(("row", i))
+            conn.execute(
+                "UPDATE results SET last_used = ? WHERE key_hash = ?",
+                (old, key_hash),
+            )
+        conn.commit()
+        report = isolated_store.prune(max_age_days=7)
+        assert report["deleted_age"] == 2
+        assert report["remaining"] == 2
+        assert isolated_store.load("seed_kernel", "1", ("row", 0)) is MISS
+        assert isolated_store.load("seed_kernel", "1", ("row", 3)) == (3, "")
+
+    def test_size_cap_evicts_lru_first_until_the_file_fits(
+        self, isolated_store
+    ):
+        _seed_rows(isolated_store, 40, blob_bytes=32 * 1024)
+        conn = isolated_store._connection()
+        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")  # writes sit in -wal
+        before = os.path.getsize(isolated_store.path)
+        assert before > (1 << 20) // 2
+        # Touch the newest rows so they are the most recently used ones.
+        for i in range(30, 40):
+            assert isolated_store.load("seed_kernel", "1", ("row", i)) != MISS
+        isolated_store.flush()
+        report = isolated_store.prune(max_size_mb=0.5)
+        assert report["deleted_size"] > 0
+        assert report["file_bytes"] <= (1 << 20) // 2
+        assert os.path.getsize(isolated_store.path) <= (1 << 20) // 2
+        # The recently-touched rows survived the LRU eviction.
+        assert isolated_store.load("seed_kernel", "1", ("row", 39)) != MISS
+
+    def test_load_touch_refreshes_last_used(self, isolated_store):
+        _seed_rows(isolated_store, 1)
+        conn = isolated_store._connection()
+        conn.execute("UPDATE results SET last_used = 1.0")
+        conn.commit()
+        assert isolated_store.load("seed_kernel", "1", ("row", 0)) == (0, "")
+        isolated_store.flush()
+        (value,) = conn.execute(
+            "SELECT last_used FROM results"
+        ).fetchone()
+        assert value > 1.0
+
+    def test_cli_prune_reports_and_requires_caps(self, isolated_store, capsys):
+        from repro.__main__ import main
+
+        _seed_rows(isolated_store, 3)
+        with pytest.raises(SystemExit, match="max-age-days"):
+            main(["store", "prune", "--path", isolated_store.path])
+        code = main(
+            [
+                "store", "prune", "--path", isolated_store.path,
+                "--max-age-days", "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prune:" in out and "3 remain" in out
+
+    def test_v1_schema_migrates_in_place(self, tmp_path):
+        """A pre-last_used store file is upgraded without losing rows."""
+        path = tmp_path / "v1.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE results (
+                kernel TEXT NOT NULL, version TEXT NOT NULL,
+                key_hash TEXT NOT NULL, value BLOB NOT NULL,
+                checksum TEXT NOT NULL, created REAL NOT NULL,
+                PRIMARY KEY (kernel, version, key_hash)
+            );
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+            INSERT INTO meta VALUES ('schema_version', '1');
+            """
+        )
+        import pickle as _pickle
+
+        blob = _pickle.dumps(123)
+        import hashlib as _hashlib
+
+        conn.execute(
+            "INSERT INTO results VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                "seed_kernel", "1", store_pkg.fingerprint(("row", 0)),
+                blob, _hashlib.sha256(blob).hexdigest(), 1000.0,
+            ),
+        )
+        conn.commit()
+        conn.close()
+        store = ResultStore(path, mode="rw")
+        assert store.load("seed_kernel", "1", ("row", 0)) == 123
+        report = store.prune(max_age_days=10_000_000)
+        assert report["remaining"] == 1  # seeded last_used = created
+        conn = store._connection()
+        (value,) = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        assert value == "2"
+        store.close()
+
+
+class TestWorkerModeDelta:
+    def test_worker_mode_never_touches_sqlite(self, tmp_path):
+        store = ResultStore(tmp_path / "w.sqlite", mode="rw")
+        store.worker_mode = True
+        store.save("k", "1", ("a",), 1)
+        store.save("k", "1", ("b",), 2)
+        assert store.flush() == 0
+        assert not os.path.exists(store.path)
+        # Pending rows still serve reads (the overlay).
+        assert store.load("k", "1", ("a",)) == 1
+
+    def test_worker_touches_ride_home_and_refresh_last_used(self, tmp_path):
+        """Regression: loads inside workers must still feed prune's
+        recency signal — touches ship home with the delta/job payloads."""
+        parent = ResultStore(tmp_path / "shared.sqlite", mode="rw")
+        parent.save("k", "1", ("hot",), 7)
+        parent.flush()
+        conn = parent._connection()
+        conn.execute("UPDATE results SET last_used = 1.0")
+        conn.commit()
+
+        worker = ResultStore(tmp_path / "shared.sqlite", mode="rw")
+        worker.worker_mode = True
+        assert worker.load("k", "1", ("hot",)) == 7  # a store hit
+        delta = worker.export_delta(since=worker.stats())
+        assert delta.touches, "worker hit produced no touch"
+        parent.import_delta(delta)
+        parent.flush()
+        (value,) = conn.execute("SELECT last_used FROM results").fetchone()
+        assert value > 1.0
+        parent.close()
+        worker.close()
+
+    def test_pool_worker_loads_refresh_last_used(self, isolated_store):
+        """End-to-end: a --jobs 2 rerun over a warm store refreshes
+        last_used via the per-job drained touches."""
+        _seed_rows(isolated_store, 1)
+        conn = isolated_store._connection()
+        conn.execute("UPDATE results SET last_used = 1.0")
+        conn.commit()
+        KERNEL_CACHE.clear()
+        batch = run_batch(
+            [
+                Job("load-a", _load_seed_row, ()),
+                Job("load-b", _load_seed_row, ()),
+            ],
+            jobs=2,
+        )
+        assert batch.values == (7, 7)
+        isolated_store.flush()
+        (value,) = conn.execute("SELECT last_used FROM results").fetchone()
+        assert value > 1.0
+
+    def test_export_import_delta_round_trip(self, tmp_path):
+        worker = ResultStore(tmp_path / "shared.sqlite", mode="rw")
+        worker.worker_mode = True
+        baseline = worker.stats()
+        worker.save("k", "1", ("a",), 41)
+        delta = worker.export_delta(since=baseline)
+        assert len(delta.rows) == 1
+        assert delta.stats.writes == 1
+        # A second export is empty: the first drained everything.
+        again = worker.export_delta(since=worker.stats())
+        assert again.rows == ()
+        parent = ResultStore(tmp_path / "shared.sqlite", mode="rw")
+        parent.import_delta(delta)
+        assert parent.load("k", "1", ("a",)) == 41
+        assert parent.stats().writes >= 1
+        # Garbage payloads are ignored rather than crashing the server.
+        parent.import_delta({"rows": "nonsense"})
+        parent.close()
+        worker.close()
 
 
 class TestConfiguration:
