@@ -28,7 +28,9 @@ The library provides, from scratch:
 * :mod:`repro.dist` — distributed execution: a TCP work-queue
   coordinator plus ``python -m repro worker`` processes behind the same
   executor protocol as the serial and pool paths, with the store as the
-  cluster-wide warm-start substrate;
+  cluster-wide warm-start substrate — streamed over the wire to remote
+  hosts at handshake (store seeding) and served on demand mid-run
+  (remote loads), no shared filesystem required;
 * :mod:`repro.analysis` — the experiment tables (E1..E16) reproducing every
   figure and worked example of the paper, plus the sharded resumable
   solvability sweeps (``python -m repro sweep``).
@@ -76,7 +78,7 @@ from .graphs import Digraph
 from .models import ClosedAboveModel, simple_closed_above, symmetric_closed_above
 from .verification import decide_one_round_solvability, verify_algorithm
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Digraph",

@@ -9,6 +9,7 @@ Usage::
     python -m repro cache-stats [--n 5] [--passes 3] [--json]
     python -m repro sweep --n 4 [--jobs 4 | --distributed :7071] [--limit K]
     python -m repro worker --connect HOST:7071 [--jobs 2] [--retry 30]
+    python -m repro dist status HOST:7071 [--json]
     python -m repro store stats [--json]
     python -m repro store probe [--n 5] [--passes 2] [--json]
     python -m repro store vacuum | clear | integrity
@@ -28,7 +29,12 @@ Distributed execution: ``--distributed HOST:PORT`` (on ``experiments``
 and ``sweep``) binds a TCP coordinator and serves the same jobs to every
 ``python -m repro worker --connect HOST:PORT`` on any machine, instead of
 forking a local pool; results are identical to serial/pool runs and only
-the coordinator writes the result store.
+the coordinator writes the result store.  With ``--seed-store on`` (the
+default) the coordinator also streams its store's relevant rows to every
+connecting remote worker and answers their store misses over the wire,
+so hosts without a shared filesystem start warm; ``python -m repro dist
+status HOST:PORT`` probes a live coordinator for queue depth, leases,
+per-worker throughput, and rows seeded/served.
 """
 
 from __future__ import annotations
@@ -131,6 +137,7 @@ def _executor_for(args: argparse.Namespace):
     try:
         return make_executor(
             distributed=args.distributed,
+            seed_store=getattr(args, "seed_store", "on") != "off",
             log=lambda message: print(f"[dist] {message}", file=sys.stderr),
         )
     except DistError as exc:
@@ -212,6 +219,42 @@ def cmd_worker(args: argparse.Namespace) -> int:
         raise SystemExit(f"worker: {exc}") from exc
     for report in reports:
         print(report.describe())
+    return 0
+
+
+def cmd_dist(args: argparse.Namespace) -> int:
+    from .dist import probe_status
+    from .errors import DistError
+
+    # argparse restricts action to "status" already.
+    try:
+        status = probe_status(args.address, timeout=args.timeout)
+    except DistError as exc:
+        raise SystemExit(f"dist status: {exc}") from exc
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    print(
+        f"coordinator {args.address}: "
+        f"{status['completed']}/{status['jobs']} jobs done, "
+        f"queue depth {status['queue_depth']}, "
+        f"{status['leases']} lease(s), {status['requeues']} requeue(s)"
+    )
+    print(
+        f"  store seeding {'on' if status['seed_store'] else 'off'}, "
+        f"remote loads {'on' if status['remote_loads'] else 'off'}: "
+        f"{status['rows_seeded']} row(s) seeded, "
+        f"{status['loads_served']} load(s) served"
+    )
+    for worker in status["workers"]:
+        print(
+            f"  worker {worker['worker']}: {worker['completed']} done, "
+            f"{worker['failed']} failed, "
+            f"{worker['jobs_per_minute']:.1f} jobs/min, "
+            f"{worker['seeded_rows']} seeded, "
+            f"{worker['loads_served']} served, "
+            f"idle {worker['idle']:.1f}s"
+        )
     return 0
 
 
@@ -388,6 +431,14 @@ def main(argv: list[str] | None = None) -> int:
             "127.0.0.1; bind 0.0.0.0:PORT explicitly for remote workers "
             "(trusted networks only — the job protocol is pickled frames)",
         )
+        p.add_argument(
+            "--seed-store", choices=("on", "off"), default="on",
+            help="with --distributed and an active result store: stream "
+            "the store's relevant rows to each connecting worker at "
+            "handshake and answer worker store misses over the wire, so "
+            "remote hosts start warm without a shared filesystem "
+            "(default: on)",
+        )
 
     p_exp = sub.add_parser("experiments", help="run experiment tables")
     p_exp.add_argument("ids", nargs="*", help="e.g. E1 E6 (default: all)")
@@ -418,6 +469,26 @@ def main(argv: list[str] | None = None) -> int:
         "may be started before the coordinator (default: 10)",
     )
     p_worker.set_defaults(func=cmd_worker)
+
+    p_dist = sub.add_parser(
+        "dist",
+        help="inspect distributed runs: 'status HOST:PORT' probes a live "
+        "coordinator for queue depth, leases, per-worker throughput and "
+        "store seeding counters",
+    )
+    p_dist.add_argument("action", choices=("status",))
+    p_dist.add_argument(
+        "address", metavar="HOST:PORT",
+        help="the coordinator's --distributed address",
+    )
+    p_dist.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="seconds to wait for the probe reply (default: 5)",
+    )
+    p_dist.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p_dist.set_defaults(func=cmd_dist)
 
     p_cache = sub.add_parser(
         "cache-stats",

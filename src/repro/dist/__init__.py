@@ -20,6 +20,17 @@ Delivery is at-least-once with idempotent jobs: results are pure
 functions of content-addressed inputs, so a requeued job's replay is
 harmless and the first result per job wins.  Equivalence tests pin that
 serial, pool, and distributed execution produce identical results.
+
+Network warm start (PR 4): the coordinator's store is the warm substrate
+for the whole cluster.  On handshake it streams its relevant rows into
+each remote worker's in-memory seed tier (``--seed-store on|off``), and
+worker store misses may fall through to a
+:class:`~repro.dist.worker.RemoteStoreTier` — a ``store_load`` round trip
+— so results banked mid-run by other workers are reused too.  Both paths
+are read-only; the cluster-wide single-writer invariant stands.
+:func:`probe_status` (CLI: ``python -m repro dist status HOST:PORT``)
+reports queue depth, leases, per-worker throughput, and rows
+seeded/served against a live coordinator.
 """
 
 from .executor import (
@@ -29,10 +40,11 @@ from .executor import (
     SerialExecutor,
     make_executor,
     parse_address,
+    probe_status,
 )
 from .coordinator import Coordinator
 from .protocol import PROTOCOL_VERSION, ProtocolError
-from .worker import WorkerReport, run_worker, run_workers
+from .worker import RemoteStoreTier, WorkerReport, run_worker, run_workers
 
 __all__ = [
     "Coordinator",
@@ -41,10 +53,12 @@ __all__ = [
     "PoolExecutor",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RemoteStoreTier",
     "SerialExecutor",
     "WorkerReport",
     "make_executor",
     "parse_address",
+    "probe_status",
     "run_worker",
     "run_workers",
 ]

@@ -30,8 +30,8 @@ import socket
 import threading
 import time
 from collections import deque
-from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
 
 from ..engine.batch import (
     BatchResult,
@@ -42,7 +42,17 @@ from ..engine.batch import (
 )
 from ..engine.cache import KERNEL_CACHE, CacheStats
 from ..errors import DistError
-from .protocol import PROTOCOL_VERSION, ProtocolError, recv_message, send_message
+from .protocol import (
+    DIST_STATUS,
+    DIST_STATUS_REPLY,
+    PROTOCOL_VERSION,
+    STORE_LOAD,
+    STORE_LOAD_RESULT,
+    STORE_SEED,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
 
 __all__ = ["Coordinator"]
 
@@ -53,6 +63,31 @@ class _Lease:
 
     owner: int
     deadline: float
+
+
+@dataclass
+class _WorkerInfo:
+    """Per-worker accounting behind the ``dist status`` probe."""
+
+    connected_at: float
+    completed: int = 0
+    failed: int = 0
+    seeded_rows: int = 0
+    loads_served: int = 0
+    last_seen: float = field(default=0.0)
+
+    def snapshot(self, name: str, now: float) -> dict:
+        elapsed = max(now - self.connected_at, 1e-9)
+        return {
+            "worker": name,
+            "completed": self.completed,
+            "failed": self.failed,
+            "seeded_rows": self.seeded_rows,
+            "loads_served": self.loads_served,
+            "elapsed": elapsed,
+            "jobs_per_minute": 60.0 * self.completed / elapsed,
+            "idle": now - max(self.last_seen, self.connected_at),
+        }
 
 
 class Coordinator:
@@ -78,6 +113,23 @@ class Coordinator:
         Optional picklable zero-argument callable shipped to each worker
         in the handshake and run once before its first job — the remote
         analogue of ``run_batch``'s per-worker warmup.
+    seed_store:
+        When True (the default) and a result store is active, every
+        remote worker's handshake is followed by a ``store_seed`` stream:
+        the store's rows (current kernel versions only, chunked) land in
+        the worker's in-memory seed tier, so hosts without a shared
+        filesystem start as warm as the coordinator.  Seeding is
+        read-only; the single-writer invariant is untouched.
+    remote_loads:
+        Whether workers may resolve store misses with ``store_load``
+        round trips against this coordinator's store mid-run (results
+        banked by *other* workers get reused before being recomputed).
+        ``None`` (default) follows ``seed_store``.
+    seed_versions:
+        Optional explicit ``{kernel: version}`` filter for the seed
+        stream; ``None`` seeds every kernel registered in this process at
+        its current version — which covers exactly the kernels the queued
+        task set can call, since jobs only reach registered kernels.
     log:
         Optional callable receiving one-line progress strings (worker
         connects/disconnects, requeues); silent when ``None``.
@@ -92,6 +144,9 @@ class Coordinator:
         lease_timeout: float = 60.0,
         wait_delay: float = 0.25,
         warmup: Callable[[], object] | None = None,
+        seed_store: bool = True,
+        remote_loads: bool | None = None,
+        seed_versions: Mapping[str, str] | None = None,
         log: Callable[[str], None] | None = None,
     ):
         if lease_timeout <= 0:
@@ -102,6 +157,13 @@ class Coordinator:
         self._lease_timeout = lease_timeout
         self._wait_delay = wait_delay
         self._warmup = warmup
+        self._seed_store = bool(seed_store)
+        self._remote_loads = (
+            self._seed_store if remote_loads is None else bool(remote_loads)
+        )
+        self._seed_versions = (
+            dict(seed_versions) if seed_versions is not None else None
+        )
         self._log = log or (lambda message: None)
 
         self._lock = threading.Lock()
@@ -115,6 +177,9 @@ class Coordinator:
         if self._remaining == 0:
             self._done.set()
         self._workers_seen: set[str] = set()
+        self._worker_info: dict[str, _WorkerInfo] = {}
+        self._rows_seeded = 0
+        self._loads_served = 0
         self._requeues = 0
         self._owner_counter = 0
         # Stats deltas produced in *other* processes — the only ones this
@@ -143,6 +208,39 @@ class Coordinator:
         """Jobs requeued after a worker died or went silent."""
         with self._lock:
             return self._requeues
+
+    @property
+    def rows_seeded(self) -> int:
+        """Store rows streamed to connecting workers (all handshakes)."""
+        with self._lock:
+            return self._rows_seeded
+
+    @property
+    def loads_served(self) -> int:
+        """``store_load`` requests answered with a row (remote-tier hits)."""
+        with self._lock:
+            return self._loads_served
+
+    def status_snapshot(self) -> dict:
+        """The machine-readable state behind ``dist status`` probes."""
+        now = time.monotonic()
+        with self._lock:
+            return {
+                "version": PROTOCOL_VERSION,
+                "jobs": len(self._tasks),
+                "completed": len(self._tasks) - self._remaining,
+                "queue_depth": len(self._pending),
+                "leases": len(self._leases),
+                "requeues": self._requeues,
+                "seed_store": self._seed_store,
+                "remote_loads": self._remote_loads,
+                "rows_seeded": self._rows_seeded,
+                "loads_served": self._loads_served,
+                "workers": [
+                    info.snapshot(name, now)
+                    for name, info in sorted(self._worker_info.items())
+                ],
+            }
 
     def start(self) -> tuple[str, int]:
         """Bind, listen, and start serving in background threads."""
@@ -294,6 +392,9 @@ class Coordinator:
             if message is None:
                 return
             kind, payload = message
+            if kind == DIST_STATUS:
+                self._answer_status(conn, payload)
+                return
             if kind != "hello" or not isinstance(payload, dict):
                 send_message(conn, "reject", {"reason": "expected hello"})
                 return
@@ -313,8 +414,17 @@ class Coordinator:
                 payload.get("host") == socket.gethostname()
                 and payload.get("pid") == os.getpid()
             )
+            # Seeding and remote loads target *remote* workers: an
+            # in-process worker already reads this very store directly.
+            seed = self._seed_store and self._store is not None and not local
+            remote = (
+                self._remote_loads and self._store is not None and not local
+            )
             with self._lock:
                 self._workers_seen.add(worker_name)
+                info = self._worker_info.setdefault(
+                    worker_name, _WorkerInfo(connected_at=time.monotonic())
+                )
             send_message(
                 conn,
                 "welcome",
@@ -323,16 +433,30 @@ class Coordinator:
                     "jobs": len(self._tasks),
                     "warmup": self._warmup,
                     "heartbeat": self._lease_timeout / 3,
+                    "seed": {"enabled": seed, "remote": remote},
                 },
             )
             self._log(f"worker {worker_name} connected")
+            if seed:
+                seeded = self._stream_seed(conn)
+                with self._lock:
+                    self._rows_seeded += seeded
+                    info.seeded_rows += seeded
+                self._log(
+                    f"seeded {seeded} store row(s) to worker {worker_name}"
+                )
             while True:
                 message = recv_message(conn)
                 if message is None:
                     return  # worker died: finally-block requeues
                 kind, payload = message
+                with self._lock:
+                    info.last_seen = time.monotonic()
                 if kind == "heartbeat":
                     self._extend_lease(owner, payload.get("index"))
+                    continue
+                if kind == STORE_LOAD:
+                    self._answer_load(conn, payload, info)
                     continue
                 if kind == "delta":
                     self._import_delta(payload, local)
@@ -341,8 +465,17 @@ class Coordinator:
                     return
                 if kind == "result":
                     index = payload["index"]
-                    self._complete(index, payload["outcome"], local)
+                    outcome = payload["outcome"]
+                    accepted = self._complete(index, outcome, local)
                     held.discard(index)
+                    if accepted:
+                        # Dropped duplicates (post-requeue replays) must
+                        # not inflate the status probe's throughput.
+                        with self._lock:
+                            if isinstance(outcome, JobFailure):
+                                info.failed += 1
+                            else:
+                                info.completed += 1
                 elif kind != "next":
                     raise ProtocolError(
                         f"unexpected frame {kind!r} from {worker_name}"
@@ -386,13 +519,14 @@ class Coordinator:
 
     def _complete(
         self, index: int, outcome: JobResult | JobFailure, local: bool
-    ) -> None:
+    ) -> bool:
+        """Record one result; False when a duplicate was dropped."""
         if not isinstance(index, int) or not 0 <= index < len(self._tasks):
             raise ProtocolError(f"result for unknown job index {index!r}")
         with self._lock:
             self._leases.pop(index, None)
             if self._outcomes[index] is not None:
-                return  # duplicate of a requeued job: first result won
+                return False  # duplicate of a requeued job: first result won
             try:
                 # The job may have been requeued and be waiting for the
                 # next worker; this result arrived first, so withdraw it.
@@ -421,6 +555,7 @@ class Coordinator:
                 self._store.flush()
         if done:
             self._done.set()
+        return True
 
     def _release(self, owner: int, held: set[int], worker: str) -> None:
         """Requeue every job this connection still holds (worker died)."""
@@ -458,6 +593,66 @@ class Coordinator:
                     return
         except (ProtocolError, OSError):
             return
+
+    # ------------------------------------------------------------------
+    # Store data plane (seeding + remote loads) and the status probe
+    # ------------------------------------------------------------------
+    def _stream_seed(self, conn: socket.socket) -> int:
+        """Stream the store's relevant rows to a fresh worker; row count.
+
+        Chunked by the store's :meth:`~repro.store.ResultStore.export_seed`
+        so a huge store becomes many modest frames — the store lock and
+        this connection's send buffer are held per chunk, never for the
+        whole file.  The final chunk carries ``done=True`` so the worker
+        knows when the job conversation may begin.
+        """
+        seeded = 0
+        for chunk in self._store.export_seed(self._seed_versions):
+            send_message(conn, STORE_SEED, {"rows": chunk, "done": False})
+            seeded += len(chunk)
+        send_message(conn, STORE_SEED, {"rows": (), "done": True})
+        return seeded
+
+    def _answer_load(
+        self, conn: socket.socket, payload: object, info: _WorkerInfo
+    ) -> None:
+        """Serve one ``store_load``: a worker's store miss, mid-job.
+
+        Read-only: the row (pending overlay included, so results banked
+        by other workers moments ago count) ships back verbatim, or
+        ``None`` for a miss and the worker computes as usual.
+        """
+        row = None
+        if self._store is not None and isinstance(payload, dict):
+            kernel = payload.get("kernel")
+            version = payload.get("version")
+            key_hash = payload.get("key_hash")
+            if (
+                isinstance(kernel, str)
+                and isinstance(version, str)
+                and isinstance(key_hash, str)
+            ):
+                row = self._store.load_row(kernel, version, key_hash)
+        send_message(conn, STORE_LOAD_RESULT, {"row": row})
+        if row is not None:
+            with self._lock:
+                self._loads_served += 1
+                info.loads_served += 1
+
+    def _answer_status(self, conn: socket.socket, payload: object) -> None:
+        """Serve a ``status`` probe (first frame of its own connection)."""
+        version = payload.get("version") if isinstance(payload, dict) else None
+        if version != PROTOCOL_VERSION:
+            send_message(
+                conn,
+                "reject",
+                {
+                    "reason": f"protocol version {version} != "
+                    f"{PROTOCOL_VERSION}"
+                },
+            )
+            return
+        send_message(conn, DIST_STATUS_REPLY, self.status_snapshot())
 
     def _import_delta(self, payload: object, local: bool) -> None:
         """Absorb stray store rows/touches a worker produced outside jobs.

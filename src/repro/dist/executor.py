@@ -18,11 +18,19 @@ pin serial == pool == dist.  :func:`make_executor` maps the CLI surface
 
 from __future__ import annotations
 
+import socket
 from collections.abc import Callable, Sequence
 from typing import Protocol, runtime_checkable
 
 from ..engine.batch import BatchResult, Job, run_batch
 from ..errors import DistError
+from .protocol import (
+    DIST_STATUS,
+    DIST_STATUS_REPLY,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    request,
+)
 
 __all__ = [
     "Executor",
@@ -31,6 +39,7 @@ __all__ = [
     "DistExecutor",
     "make_executor",
     "parse_address",
+    "probe_status",
 ]
 
 
@@ -93,6 +102,8 @@ class DistExecutor:
         address: str | tuple[str, int],
         *,
         lease_timeout: float = 60.0,
+        seed_store: bool = True,
+        remote_loads: bool | None = None,
         log: Callable[[str], None] | None = None,
         on_bound: Callable[[tuple[str, int]], object] | None = None,
     ):
@@ -100,11 +111,15 @@ class DistExecutor:
             address = parse_address(address)
         self.host, self.port = address
         self.lease_timeout = lease_timeout
+        self.seed_store = seed_store
+        self.remote_loads = remote_loads
         self.log = log
         self.on_bound = on_bound
         self.bound_address: tuple[str, int] | None = None
         self.last_requeues = 0
         self.last_workers = 0
+        self.last_rows_seeded = 0
+        self.last_loads_served = 0
 
     def run(self, tasks, *, warmup=None, on_error="raise"):
         from .coordinator import Coordinator
@@ -115,6 +130,8 @@ class DistExecutor:
             port=self.port,
             lease_timeout=self.lease_timeout,
             warmup=warmup,
+            seed_store=self.seed_store,
+            remote_loads=self.remote_loads,
             log=self.log,
         )
         with coordinator:
@@ -124,6 +141,8 @@ class DistExecutor:
             result = coordinator.serve(on_error=on_error)
         self.last_requeues = coordinator.requeues
         self.last_workers = result.jobs
+        self.last_rows_seeded = coordinator.rows_seeded
+        self.last_loads_served = coordinator.loads_served
         return result
 
     def __repr__(self) -> str:
@@ -157,16 +176,59 @@ def make_executor(
     jobs: int = 1,
     distributed: str | None = None,
     *,
+    seed_store: bool = True,
     log: Callable[[str], None] | None = None,
 ) -> Executor:
     """Map the CLI surface onto an executor.
 
     ``distributed`` (a ``HOST:PORT`` / ``:PORT`` spec) wins over ``jobs``;
     otherwise ``jobs > 1`` selects the pool and ``jobs == 1`` the serial
-    reference path.
+    reference path.  ``seed_store`` maps ``--seed-store on|off`` onto the
+    coordinator's store-seeding handshake (and remote loads); it only
+    matters for the distributed executor with an active store.
     """
     if distributed is not None:
-        return DistExecutor(distributed, log=log)
+        return DistExecutor(distributed, seed_store=seed_store, log=log)
     if jobs > 1:
         return PoolExecutor(jobs)
     return SerialExecutor()
+
+
+def probe_status(
+    address: str | tuple[str, int], *, timeout: float = 5.0
+) -> dict:
+    """Ask a running coordinator for its status snapshot.
+
+    Speaks the one-shot ``status`` conversation of
+    :mod:`~repro.dist.protocol`: queue depth, leases, requeues,
+    per-worker throughput, and the seed/serve counters of the store data
+    plane.  ``python -m repro dist status HOST:PORT`` is the CLI wrapper.
+    Raises :class:`~repro.errors.DistError` when nothing is listening,
+    the peer is not a coordinator, or the protocol versions mismatch.
+    """
+    if isinstance(address, str):
+        address = parse_address(address)
+    try:
+        sock = socket.create_connection(address, timeout=timeout)
+    except OSError as exc:
+        raise DistError(
+            f"no coordinator listening at {address[0]}:{address[1]}: {exc}"
+        ) from exc
+    try:
+        sock.settimeout(timeout)
+        try:
+            kind, payload = request(
+                sock, DIST_STATUS, {"version": PROTOCOL_VERSION}
+            )
+        except (OSError, ProtocolError) as exc:
+            raise DistError(f"status probe failed: {exc}") from exc
+        if kind == "reject":
+            reason = (
+                payload.get("reason") if isinstance(payload, dict) else payload
+            )
+            raise DistError(f"status probe rejected: {reason}")
+        if kind != DIST_STATUS_REPLY or not isinstance(payload, dict):
+            raise DistError(f"unexpected status reply {kind!r}")
+        return payload
+    finally:
+        sock.close()

@@ -12,10 +12,14 @@ The conversation, after a version handshake, is worker-driven::
     worker                          coordinator
     ------                          -----------
     hello {version, worker}    ->
-                               <-   welcome {version, jobs, warmup}
+                               <-   welcome {version, jobs, warmup, seed}
+                               <-   store_seed {rows, done}*  (warm start,
+                                    zero or more chunks, last has done=True)
     next {}                    ->
                                <-   job {index, job} | wait {delay} | done {}
     heartbeat {index}          ->   (one-way, extends the job's lease)
+    store_load {kernel, ...}   ->   (mid-job store miss, remote tier)
+                               <-   store_load_result {row | None}
     result {index, outcome}    ->
                                <-   job | wait | done      (piggybacked next)
     delta {rows, stats}        ->   (one-way, stray store rows, e.g. warmup's)
@@ -25,7 +29,16 @@ The conversation, after a version handshake, is worker-driven::
 round trip per job.  Heartbeats are fire-and-forget and never answered,
 which keeps the request/response streams aligned even though a worker's
 heartbeat thread interleaves them with the main loop's requests (sends are
-serialised by a per-socket lock on the worker side).
+serialised by a per-socket lock on the worker side).  ``store_load``
+requests only ever happen while a job (or warmup) is computing — the main
+loop is then blocked inside ``execute_job`` and not reading the socket —
+so their replies cannot race the job/wait/done stream.
+
+A second, trivial conversation supports observability: a probe client's
+*first* frame may be ``status {version}`` instead of ``hello``, answered
+with one ``status_reply {...}`` (queue depth, leases, per-worker
+throughput, seed/serve counters) after which the connection closes.  That
+is what ``python -m repro dist status HOST:PORT`` speaks.
 """
 
 from __future__ import annotations
@@ -39,6 +52,11 @@ from ..errors import EngineError
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME",
+    "STORE_SEED",
+    "STORE_LOAD",
+    "STORE_LOAD_RESULT",
+    "DIST_STATUS",
+    "DIST_STATUS_REPLY",
     "ProtocolError",
     "send_message",
     "recv_message",
@@ -46,8 +64,19 @@ __all__ = [
 ]
 
 #: Bumped on any incompatible change; the handshake rejects mismatches
-#: outright rather than guessing at cross-version semantics.
-PROTOCOL_VERSION = 1
+#: outright rather than guessing at cross-version semantics.  v2 added
+#: the store data plane (seed streaming, remote loads) and the status
+#: probe.
+PROTOCOL_VERSION = 2
+
+#: Frame kinds of the store data plane and the status probe.  The job
+#: frames (``hello``/``welcome``/``next``/``job``/``result``/...) predate
+#: these constants and stay literal strings at their call sites.
+STORE_SEED = "store_seed"
+STORE_LOAD = "store_load"
+STORE_LOAD_RESULT = "store_load_result"
+DIST_STATUS = "status"
+DIST_STATUS_REPLY = "status_reply"
 
 #: Upper bound on a single frame (a pickled job or result).  Generously
 #: above anything the sweeps ship, and low enough that a corrupt or

@@ -17,6 +17,17 @@ e.g. by warmup), mirroring the daemonic-pool-worker invariant of PR 2.
 Reads still work, so a worker pointed at a shared (or pre-seeded) store
 file warm-starts from everything already computed.
 
+Network warm start: when the coordinator offers seeding (``--seed-store``,
+the default), the handshake is followed by a ``store_seed`` stream — the
+coordinator's store rows land in this worker's in-memory seed tier, so a
+host with an *empty* local store still starts warm.  A worker with no
+active store at all gets a throwaway in-memory one (worker mode, never
+touching disk) just to host the seed tier and carry rows home.  Store
+misses mid-run may additionally fall through to a :class:`RemoteStoreTier`
+— one ``store_load`` round trip on the job connection — so results banked
+moments ago by *other* workers are reused instead of recomputed.  Both
+tiers are read-only; writes still ride home inside each ``JobResult``.
+
 While a job computes, a background thread heartbeats the coordinator at
 the interval suggested in the handshake, so long CSP shards are not
 requeued as long as this worker is alive; a killed worker simply stops
@@ -33,9 +44,17 @@ from dataclasses import dataclass, replace
 
 from ..engine.batch import JobFailure, execute_job
 from ..errors import DistError
-from .protocol import PROTOCOL_VERSION, recv_message, send_message
+from .protocol import (
+    PROTOCOL_VERSION,
+    STORE_LOAD,
+    STORE_LOAD_RESULT,
+    STORE_SEED,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
 
-__all__ = ["WorkerReport", "run_worker", "run_workers"]
+__all__ = ["RemoteStoreTier", "WorkerReport", "run_worker", "run_workers"]
 
 
 @dataclass(frozen=True)
@@ -50,12 +69,101 @@ class WorkerReport:
     """True when the coordinator said ``done``; False when it vanished
     mid-run (the batch may still have finished via other workers)."""
 
+    seeded_rows: int = 0
+    """Store rows received from the coordinator's ``store_seed`` stream."""
+
     def describe(self) -> str:
         status = "done" if self.clean else "coordinator went away"
-        return (
+        text = (
             f"worker {self.worker}: {self.completed} job(s) completed, "
             f"{self.failed} failed, {self.elapsed:.1f}s ({status})"
         )
+        if self.seeded_rows:
+            text += f"; {self.seeded_rows} store row(s) seeded"
+        return text
+
+
+class RemoteStoreTier:
+    """Resolve store misses against the coordinator over the job socket.
+
+    Installed as :attr:`repro.store.ResultStore.remote_tier` when the
+    coordinator's handshake offers remote loads.  ``load`` runs on the
+    job's own thread (inside ``execute_job``'s kernel miss path), while
+    the main loop is *not* reading the socket — and the coordinator never
+    answers heartbeats — so the reply frame cannot be claimed by anyone
+    else.  Every failure degrades to ``None`` (a plain miss) and marks
+    the tier broken so a dead coordinator costs at most one timeout, not
+    one per miss.  A failure that may leave the reply stream misaligned
+    (timeout, torn frame, unexpected kind) also shuts the socket down:
+    a late ``store_load_result`` must never be mistaken for the main
+    loop's next directive, so the worker takes the ordinary
+    "coordinator went away" exit and its leased job is requeued intact.
+    """
+
+    def __init__(
+        self, sock: socket.socket, send_lock: threading.Lock,
+        *, timeout: float = 30.0,
+    ):
+        self._sock = sock
+        self._send_lock = send_lock
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self.loads = 0
+        self.hits = 0
+        self.broken = False
+
+    def _poison(self) -> None:
+        """Mark the tier broken and tear the stream down.
+
+        After a timeout or a torn/unexpected frame, bytes of (or a whole
+        late) reply may still arrive; shutting the socket turns every
+        subsequent read into a clean error instead of letting the main
+        loop parse a stale ``store_load_result`` as its next directive.
+        """
+        self.broken = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already closed/reset: the stream is dead either way
+
+    def load(self, kernel: str, version: str, key_hash: str):
+        if self.broken:
+            return None
+        with self._lock:
+            self.loads += 1
+            try:
+                with self._send_lock:
+                    send_message(
+                        self._sock,
+                        STORE_LOAD,
+                        {
+                            "kernel": kernel,
+                            "version": version,
+                            "key_hash": key_hash,
+                        },
+                    )
+                # Bound the wait: a vanished coordinator must not wedge
+                # the kernel call forever (the timeout is reset so the
+                # main loop's blocking reads keep their old semantics).
+                self._sock.settimeout(self._timeout)
+                try:
+                    reply = recv_message(self._sock)
+                finally:
+                    self._sock.settimeout(None)
+            except (OSError, ProtocolError):
+                self._poison()
+                return None
+            if reply is None:
+                self.broken = True  # clean EOF: nothing left to desync
+                return None
+            kind, payload = reply
+            if kind != STORE_LOAD_RESULT or not isinstance(payload, dict):
+                self._poison()
+                return None
+            row = payload.get("row")
+            if row is not None:
+                self.hits += 1
+            return row
 
 
 class _HeartbeatPump(threading.Thread):
@@ -122,6 +230,42 @@ def _worker_store():
     return store
 
 
+def _install_memory_store():
+    """Install a throwaway in-memory store to host the seed tier.
+
+    A worker started with ``REPRO_STORE=off`` has no store at all, which
+    would waste the coordinator's seed stream.  An in-memory, worker-mode
+    store never touches disk (worker mode defers every write; the rows it
+    accumulates ride home inside job results exactly like a file-backed
+    worker's) but gives the seed and remote tiers a place to live.
+    Returns the store plus the previous global configuration so
+    ``run_worker`` can restore it on exit (in-process callers must not
+    keep the throwaway).
+    """
+    from .. import store as store_pkg
+
+    previous = store_pkg.RESULT_STORE
+    restore = (previous.path, previous.mode, previous.batch_size)
+    store = store_pkg.configure(path=":memory:", mode="rw")
+    store.worker_mode = True
+    return store, restore
+
+
+def _receive_seed(sock: socket.socket, store) -> int:
+    """Drain the coordinator's ``store_seed`` stream into the seed tier."""
+    seeded = 0
+    while True:
+        frame = recv_message(sock)
+        if frame is None:
+            raise DistError("coordinator closed during store seeding")
+        kind, payload = frame
+        if kind != STORE_SEED or not isinstance(payload, dict):
+            raise DistError(f"expected store_seed frame, got {kind!r}")
+        seeded += store.import_seed_rows(payload.get("rows") or ())
+        if payload.get("done"):
+            return seeded
+
+
 def run_worker(
     host: str,
     port: int,
@@ -146,8 +290,10 @@ def run_worker(
     sock = _connect(host, port, retry)
     send_lock = threading.Lock()
     completed = failed = 0
+    seeded_rows = 0
     clean = False
     store = _worker_store()
+    store_restore = None
     try:
         with send_lock:
             send_message(
@@ -175,6 +321,16 @@ def run_worker(
             raise DistError(f"unexpected handshake reply {kind!r}")
         heartbeat = float(payload.get("heartbeat") or 20.0)
         warmup = payload.get("warmup")
+        seed_offer = payload.get("seed") or {}
+        seed_enabled = bool(seed_offer.get("enabled"))
+        remote_enabled = bool(seed_offer.get("remote"))
+        if (seed_enabled or remote_enabled) and store is None:
+            store, store_restore = _install_memory_store()
+        if seed_enabled:
+            seeded_rows = _receive_seed(sock, store)
+            log(f"worker {name}: seeded {seeded_rows} store row(s)")
+        if remote_enabled and store is not None:
+            store.remote_tier = RemoteStoreTier(sock, send_lock)
         baseline = store.stats() if store is not None else None
         if warmup is not None:
             warmup()
@@ -191,7 +347,10 @@ def run_worker(
         while True:
             message = recv_message(sock)
             if message is None:
-                return _report(name, completed, failed, start, clean=False)
+                return _report(
+                    name, completed, failed, start,
+                    clean=False, seeded=seeded_rows,
+                )
             kind, payload = message
             if kind == "done":
                 clean = True
@@ -235,22 +394,45 @@ def run_worker(
     except OSError:
         # Connection torn down mid-run: the coordinator finished or died;
         # either way there is nothing more this worker can contribute.
-        return _report(name, completed, failed, start, clean=False)
+        return _report(
+            name, completed, failed, start, clean=False, seeded=seeded_rows
+        )
     finally:
         if store is not None:
             # Dedicated worker processes exit anyway; in-thread workers
             # (tests) share the process-global store and must hand the
-            # write path back.
+            # write path back — and must not keep a tier bound to this
+            # (now closing) connection or this batch's seed rows.
             store.worker_mode = False
+            store.remote_tier = None
+            store.clear_seed()
+        if store_restore is not None:
+            # The throwaway in-memory store must not outlive this run in
+            # the process-global slot (in-process callers, tests).
+            from .. import store as store_pkg
+
+            store_pkg.configure(
+                path=store_restore[0],
+                mode=store_restore[1],
+                batch_size=store_restore[2],
+            )
         try:
             sock.close()
         except OSError:  # pragma: no cover - close is best-effort
             pass
-    return _report(name, completed, failed, start, clean=clean)
+    return _report(
+        name, completed, failed, start, clean=clean, seeded=seeded_rows
+    )
 
 
 def _report(
-    name: str, completed: int, failed: int, start: float, *, clean: bool
+    name: str,
+    completed: int,
+    failed: int,
+    start: float,
+    *,
+    clean: bool,
+    seeded: int = 0,
 ) -> WorkerReport:
     return WorkerReport(
         worker=name,
@@ -258,6 +440,7 @@ def _report(
         failed=failed,
         elapsed=time.monotonic() - start,
         clean=clean,
+        seeded_rows=seeded,
     )
 
 

@@ -28,6 +28,15 @@ Design points:
 * **Integrity.**  Every row carries a SHA-256 checksum of its value blob;
   corrupt or unreadable rows are treated as misses and deleted on sight,
   and :meth:`integrity_report` audits the whole file.
+* **Network warm start.**  Two read-only tiers sit around SQLite for
+  distributed workers without a shared filesystem: an in-memory *seed*
+  tier (:meth:`import_seed_rows`, populated from the coordinator's
+  ``store_seed`` stream at handshake; :meth:`export_seed` is the sending
+  side) consulted before the database, and an optional *remote* tier
+  (:attr:`remote_tier`, a ``store_load`` round trip to the coordinator)
+  consulted after a database miss.  Both only ever read — writes still
+  ride home inside job results — and both count into the ordinary
+  hit statistics plus dedicated ``seed_hits`` / ``remote_hits`` counters.
 
 Modes: ``rw`` (read + write-back), ``ro`` (warm-start only, never writes),
 ``off`` (inert).  The module-level switchboard lives in
@@ -97,6 +106,15 @@ class StoreStats:
     by_kernel: tuple[tuple[str, int, int, int], ...] = ()
     """Per-kernel ``(name, hits, misses, writes)`` rows, sorted by name."""
 
+    seed_hits: int = 0
+    """Hits served by the in-memory seed tier (rows streamed from a
+    distributed coordinator's store at handshake); always also counted in
+    ``hits``."""
+
+    remote_hits: int = 0
+    """Hits served by the remote tier (a ``store_load`` round trip to the
+    coordinator mid-run); always also counted in ``hits``."""
+
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
@@ -121,6 +139,8 @@ class StoreStats:
             by_kernel=tuple(
                 (name, *row) for name, row in sorted(merged.items())
             ),
+            seed_hits=self.seed_hits + other.seed_hits,
+            remote_hits=self.remote_hits + other.remote_hits,
         )
 
     def delta_since(self, baseline: "StoreStats") -> "StoreStats":
@@ -136,6 +156,8 @@ class StoreStats:
             misses=self.misses - baseline.misses,
             writes=self.writes - baseline.writes,
             by_kernel=tuple(rows),
+            seed_hits=self.seed_hits - baseline.seed_hits,
+            remote_hits=self.remote_hits - baseline.remote_hits,
         )
 
     def to_dict(self) -> dict:
@@ -145,6 +167,8 @@ class StoreStats:
             "misses": self.misses,
             "writes": self.writes,
             "hit_rate": self.hit_rate,
+            "seed_hits": self.seed_hits,
+            "remote_hits": self.remote_hits,
             "by_kernel": [
                 {"kernel": name, "hits": h, "misses": m, "writes": w}
                 for name, h, m, w in self.by_kernel
@@ -156,6 +180,11 @@ class StoreStats:
             f"result store: {self.hits} hits / {self.misses} misses "
             f"({self.hit_rate:.0%} hit rate), {self.writes} writes"
         ]
+        if self.seed_hits or self.remote_hits:
+            lines.append(
+                f"  network warm start: {self.seed_hits} seeded hit(s), "
+                f"{self.remote_hits} remote load(s)"
+            )
         for name, hits, misses, writes in self.by_kernel:
             total = hits + misses
             rate = hits / total if total else 0.0
@@ -166,10 +195,19 @@ class StoreStats:
 
 
 #: One pending/persisted row: ``(kernel, version, key_hash, blob, checksum,
-#: created)`` — plain picklable tuples so workers can ship them to the
-#: parent with their job results.  ``last_used`` starts equal to
-#: ``created`` when the row reaches SQLite.
-StoreRow = tuple[str, str, str, bytes, str, float]
+#: created, last_used)`` — plain picklable tuples so workers and seeding
+#: coordinators can ship them over the wire.  Freshly computed rows start
+#: with ``last_used == created``; rows exported from a database carry the
+#: real recency so seeding/importing never resets ``prune``'s signal.
+#: Legacy 6-tuples (pre last-used) are still accepted everywhere.
+StoreRow = tuple[str, str, str, bytes, str, float, float]
+
+
+def _row_last_used(row) -> float:
+    """A row's ``last_used``, tolerating legacy 6-tuples and ``None``."""
+    if len(row) > 6 and row[6] is not None:
+        return row[6]
+    return row[5]
 
 
 @dataclass(frozen=True)
@@ -193,6 +231,8 @@ class _StoreCounters:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    seed_hits: int = 0
+    remote_hits: int = 0
 
 
 def _checksum(blob: bytes) -> str:
@@ -233,6 +273,13 @@ class ResultStore:
         #: an in-process worker must then leave ``worker_mode`` off, or
         #: it would stall the coordinator's own flushes.
         self.coordinator_owned = 0
+        #: Optional remote tier: an object with ``load(kernel, version,
+        #: key_hash) -> StoreRow | None`` consulted after a SQLite miss
+        #: (distributed workers point it at the coordinator's store over
+        #: the job connection).  Rows it returns are installed into the
+        #: seed tier so a repeat lookup never pays the round trip again.
+        self.remote_tier = None
+        self._seed: dict[tuple[str, str, str], StoreRow] = {}
         self._pending: dict[tuple[str, str, str], StoreRow] = {}
         self._touched: dict[tuple[str, str, str], float] = {}
         self._counters: dict[str, _StoreCounters] = {}
@@ -361,43 +408,95 @@ class ResultStore:
             return MISS
         with self._lock:
             counters = self._counters.setdefault(kernel, _StoreCounters())
-            pending = self._pending.get((kernel, version, key_hash))
+            full_key = (kernel, version, key_hash)
+            pending = self._pending.get(full_key)
             if pending is not None:
                 counters.hits += 1
                 return pickle.loads(pending[3])
+            seeded = self._seed.get(full_key)
+            if seeded is not None:
+                try:
+                    value = pickle.loads(seeded[3])
+                except Exception:
+                    del self._seed[full_key]
+                else:
+                    counters.hits += 1
+                    counters.seed_hits += 1
+                    self._touch(full_key)
+                    return value
             conn = self._connection()
-            if conn is None:
-                counters.misses += 1
-                return MISS
+            if conn is not None:
+                try:
+                    row = conn.execute(
+                        "SELECT value, checksum FROM results "
+                        "WHERE kernel = ? AND version = ? AND key_hash = ?",
+                        (kernel, version, key_hash),
+                    ).fetchone()
+                except sqlite3.Error:
+                    row = None
+                if row is not None:
+                    blob, checksum = row
+                    if _checksum(blob) != checksum:
+                        self._drop_row(kernel, version, key_hash)
+                    else:
+                        try:
+                            value = pickle.loads(blob)
+                        except Exception:
+                            self._drop_row(kernel, version, key_hash)
+                        else:
+                            counters.hits += 1
+                            self._touch(full_key)
+                            return value
+            return self._remote_fallthrough(counters, full_key)
+
+    def _touch(self, full_key: tuple[str, str, str]) -> None:
+        """Record a recency signal for prune (next flush applies it).
+
+        Workers ship theirs home with each job (:meth:`drain_touches`)
+        since their own flush defers — including touches for *seeded*
+        rows, whose home copy lives in the coordinator's database.  A
+        worker-mode store records touches even in ``ro`` mode: this
+        process never flushes them, but the coordinator's writable store
+        does, and an ``ro`` warm-start worker's hits are exactly the
+        recency ``store prune`` must keep seeing.
+        """
+        if self.writable or self.worker_mode:
+            self._touched[full_key] = time.time()
+
+    def _remote_fallthrough(
+        self, counters: _StoreCounters, full_key: tuple[str, str, str]
+    ) -> object:
+        """Last tier before computing: ask the remote store, if any.
+
+        A returned row is checksum-verified and installed into the seed
+        tier, so results banked mid-run by *other* workers are fetched at
+        most once per worker.  Any failure (no tier, miss, torn
+        connection, corrupt row) degrades to a plain miss — persistence
+        stays best-effort.
+        """
+        tier = self.remote_tier
+        if tier is not None:
             try:
-                row = conn.execute(
-                    "SELECT value, checksum FROM results "
-                    "WHERE kernel = ? AND version = ? AND key_hash = ?",
-                    (kernel, version, key_hash),
-                ).fetchone()
-            except sqlite3.Error:
-                row = None
-            if row is None:
-                counters.misses += 1
-                return MISS
-            blob, checksum = row
-            if _checksum(blob) != checksum:
-                self._drop_row(kernel, version, key_hash)
-                counters.misses += 1
-                return MISS
-            try:
-                value = pickle.loads(blob)
+                row = tier.load(*full_key)
             except Exception:
-                self._drop_row(kernel, version, key_hash)
-                counters.misses += 1
-                return MISS
-            counters.hits += 1
-            if self.writable:
-                # Recency signal for prune: applied in the next flush
-                # transaction; workers ship theirs home with each job
-                # (:meth:`drain_touches`) since their own flush defers.
-                self._touched[(kernel, version, key_hash)] = time.time()
-            return value
+                row = None
+            if (
+                row is not None
+                and len(row) >= 6
+                and _checksum(row[3]) == row[4]
+            ):
+                try:
+                    value = pickle.loads(row[3])
+                except Exception:
+                    value = MISS
+                if value is not MISS:
+                    self._seed[full_key] = tuple(row)
+                    counters.hits += 1
+                    counters.remote_hits += 1
+                    self._touch(full_key)
+                    return value
+        counters.misses += 1
+        return MISS
 
     def save(self, kernel: str, version: str, key: object, value: object) -> None:
         """Queue a computed result for write-back (no-op unless ``rw``)."""
@@ -410,8 +509,9 @@ class ResultStore:
             blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return  # unpicklable value: persistence is best-effort
+        now = time.time()
         row: StoreRow = (
-            kernel, version, key_hash, blob, _checksum(blob), time.time()
+            kernel, version, key_hash, blob, _checksum(blob), now, now
         )
         with self._lock:
             self._pending[(kernel, version, key_hash)] = row
@@ -468,11 +568,19 @@ class ResultStore:
                 return 0
             rows = list(self._pending.values())
             if rows:
+                # Upsert rather than replace: a duplicate arrival (e.g. a
+                # requeued job recomputed elsewhere, or an imported delta
+                # of rows this file already holds) must never move a hot
+                # row's last_used backwards.
                 conn.executemany(
-                    "INSERT OR REPLACE INTO results "
+                    "INSERT INTO results "
                     "(kernel, version, key_hash, value, checksum, created, "
-                    "last_used) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                    [row + (row[5],) for row in rows],
+                    "last_used) VALUES (?, ?, ?, ?, ?, ?, ?) "
+                    "ON CONFLICT(kernel, version, key_hash) DO UPDATE SET "
+                    "value = excluded.value, checksum = excluded.checksum, "
+                    "last_used = MAX(COALESCE(results.last_used, "
+                    "results.created), excluded.last_used)",
+                    [row[:6] + (_row_last_used(row),) for row in rows],
                 )
             # Touches for rows that are also pending were just written
             # with last_used = created; the UPDATE below refreshes them.
@@ -576,6 +684,144 @@ class ResultStore:
             self._absorbed = self._absorbed.merge(delta)
 
     # ------------------------------------------------------------------
+    # Network warm start (distributed seeding / remote loads)
+    # ------------------------------------------------------------------
+    @property
+    def seed_rows(self) -> int:
+        """Rows currently held by the in-memory seed tier."""
+        with self._lock:
+            return len(self._seed)
+
+    def import_seed_rows(self, rows) -> int:
+        """Install rows into the in-memory seed tier; returns the count kept.
+
+        The receiving half of a coordinator's ``store_seed`` stream.
+        Rows are checksum-verified on the way in (a torn frame must not
+        plant corrupt values) and are never written to this process's
+        database — the seed tier is a read-only warm-start overlay, which
+        is what preserves the cluster-wide single-writer invariant.
+        """
+        kept = 0
+        with self._lock:
+            for row in rows or ():
+                try:
+                    if len(row) < 6 or _checksum(row[3]) != row[4]:
+                        continue
+                except TypeError:
+                    continue
+                self._seed[(row[0], row[1], row[2])] = tuple(row)
+                kept += 1
+        return kept
+
+    def clear_seed(self) -> int:
+        """Drop the seed tier (a worker releasing a finished batch)."""
+        with self._lock:
+            count = len(self._seed)
+            self._seed.clear()
+            return count
+
+    def export_seed(
+        self,
+        versions=None,
+        *,
+        chunk_rows: int = 512,
+        chunk_bytes: int = 8 << 20,
+    ):
+        """Yield chunks of raw rows for seeding a connecting worker.
+
+        ``versions`` maps kernel name to implementation version; only
+        matching rows ship.  ``None`` means "every kernel registered in
+        this process, at its current version" — so rows orphaned by an
+        edited kernel never travel.  Chunks are bounded by row count and
+        payload bytes, and the database is locked per chunk only, so a
+        huge store streams as many modest frames without stalling the
+        store for concurrent flushes.
+        """
+        if versions is None:
+            versions = _current_kernel_versions()
+        pairs = sorted(versions.items())
+        if not pairs:
+            return
+        # The filter lives in the WHERE clause: a store full of
+        # stale-version or unregistered-kernel rows must not have their
+        # blobs fetched just to be discarded, once per connecting worker.
+        placeholders = ", ".join(["(?, ?)"] * len(pairs))
+        query = (
+            "SELECT rowid, kernel, version, key_hash, value, checksum, "
+            "created, COALESCE(last_used, created) FROM results "
+            f"WHERE rowid > ? AND (kernel, version) IN (VALUES {placeholders}) "
+            "ORDER BY rowid LIMIT ?"
+        )
+        filter_params = [value for pair in pairs for value in pair]
+        last_rowid = 0
+        while True:
+            with self._lock:
+                self.flush()
+                conn = self._connection()
+                if conn is None:
+                    return
+                try:
+                    fetched = conn.execute(
+                        query, (last_rowid, *filter_params, chunk_rows)
+                    ).fetchall()
+                except sqlite3.Error:
+                    return
+            if not fetched:
+                return
+            chunk: list[StoreRow] = []
+            size = 0
+            for rowid, kernel, version, key_hash, blob, checksum, created, last_used in fetched:
+                last_rowid = rowid
+                chunk.append(
+                    (kernel, version, key_hash, blob, checksum, created,
+                     last_used)
+                )
+                size += len(blob)
+                if size >= chunk_bytes:
+                    yield chunk
+                    chunk, size = [], 0
+            if chunk:
+                yield chunk
+
+    def load_row(self, kernel: str, version: str, key_hash: str):
+        """The raw stored row (pending overlay included), or ``None``.
+
+        The coordinator's answer to a worker's ``store_load``: unlike
+        :meth:`load` it ships the pickled blob untouched and counts no
+        hit/miss — serving a remote lookup is not a local kernel event —
+        but it does refresh the row's recency, since a row another worker
+        needed is demonstrably hot.
+        """
+        with self._lock:
+            if not self.active:
+                return None
+            full_key = (kernel, version, key_hash)
+            row = self._pending.get(full_key)
+            if row is not None:
+                return row[:6] + (_row_last_used(row),)
+            conn = self._connection()
+            if conn is None:
+                return None
+            try:
+                fetched = conn.execute(
+                    "SELECT value, checksum, created, "
+                    "COALESCE(last_used, created) FROM results "
+                    "WHERE kernel = ? AND version = ? AND key_hash = ?",
+                    (kernel, version, key_hash),
+                ).fetchone()
+            except sqlite3.Error:
+                return None
+            if fetched is None:
+                return None
+            blob, checksum, created, last_used = fetched
+            if _checksum(blob) != checksum:
+                self._drop_row(kernel, version, key_hash)
+                return None
+            self._touch(full_key)
+            return (kernel, version, key_hash, blob, checksum, created,
+                    last_used)
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def stats(self) -> StoreStats:
@@ -588,6 +834,12 @@ class ResultStore:
                 by_kernel=tuple(
                     (name, c.hits, c.misses, c.writes)
                     for name, c in sorted(self._counters.items())
+                ),
+                seed_hits=sum(
+                    c.seed_hits for c in self._counters.values()
+                ),
+                remote_hits=sum(
+                    c.remote_hits for c in self._counters.values()
                 ),
             )
             return local.merge(self._absorbed)
@@ -773,6 +1025,7 @@ class ResultStore:
             raise StoreError("clear needs a writable (rw) store")
         with self._lock:
             self._pending.clear()
+            self._seed.clear()
             conn = self._connection()
             if conn is None:
                 raise StoreError(f"store file {self.path} is unreadable")

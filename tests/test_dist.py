@@ -29,7 +29,9 @@ from repro.dist import (
     SerialExecutor,
     make_executor,
     parse_address,
+    probe_status,
 )
+from repro.dist import protocol as protocol_module
 from repro.dist.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -300,6 +302,13 @@ class TestAtLeastOnce:
             kind, _ = slow.finish(index, tasks[index])  # late duplicate
             assert kind == "done"
             slow.close()
+            # The dropped duplicate must not inflate the status probe's
+            # per-worker throughput: only the winning result counts.
+            per_worker = {
+                w["worker"]: w["completed"]
+                for w in coord.status_snapshot()["workers"]
+            }
+            assert per_worker == {"fast": 1, "slow": 0}
             result = coord.serve()
         assert result.values == (0,)
 
@@ -483,3 +492,306 @@ class TestWorkerSubprocesses:
         result = coord.serve()
         victim.communicate(timeout=10)
         assert result.values == (42, 0, 7)
+
+
+class TestProtocolFraming:
+    """Framing edge cases, exercised directly rather than via clients."""
+
+    def test_send_refuses_oversized_frame(self, monkeypatch):
+        monkeypatch.setattr(protocol_module, "MAX_FRAME", 64)
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="refusing to send"):
+                send_message(a, "blob", bytes(1024))
+            # Nothing reached the wire: the peer sees a clean idle socket.
+            b.setblocking(False)
+            with pytest.raises(BlockingIOError):
+                b.recv(1)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_payload_raises(self):
+        a, b = socket.socketpair()
+        try:
+            # Header promises 100 bytes; only 4 arrive before EOF.
+            a.sendall((100).to_bytes(4, "big") + b"torn")
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_header_without_payload_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((100).to_bytes(4, "big"))
+            a.close()
+            with pytest.raises(
+                ProtocolError, match="between header and payload"
+            ):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_undecodable_payload_raises(self):
+        a, b = socket.socketpair()
+        try:
+            garbage = b"\x93not a pickle"
+            a.sendall(len(garbage).to_bytes(4, "big") + garbage)
+            with pytest.raises(ProtocolError, match="undecodable"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_pair_pickle_raises(self):
+        import pickle
+
+        a, b = socket.socketpair()
+        try:
+            blob = pickle.dumps((1, 2, 3))  # not a (kind, payload) pair
+            a.sendall(len(blob).to_bytes(4, "big") + blob)
+            with pytest.raises(ProtocolError, match="undecodable"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_string_kind_raises(self):
+        import pickle
+
+        a, b = socket.socketpair()
+        try:
+            blob = pickle.dumps((42, {}))
+            a.sendall(len(blob).to_bytes(4, "big") + blob)
+            with pytest.raises(ProtocolError, match="kind must be a string"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_worker_refuses_on_version_mismatch(self, monkeypatch):
+        """run_worker itself (not just the fake client) must surface a
+        coordinator's version rejection as a DistError."""
+        import repro.dist.worker as worker_module
+
+        monkeypatch.setattr(worker_module, "PROTOCOL_VERSION", 999)
+        with Coordinator(_mul_jobs(1)) as coord:
+            host, port = coord.address
+            with pytest.raises(DistError, match="999"):
+                run_worker(host, port, retry=5.0)
+
+    def test_status_probe_version_mismatch_rejected(self, monkeypatch):
+        import repro.dist.executor as executor_module
+
+        with Coordinator(_mul_jobs(1)) as coord:
+            monkeypatch.setattr(executor_module, "PROTOCOL_VERSION", 999)
+            with pytest.raises(DistError, match="rejected"):
+                probe_status(coord.address)
+
+
+def _warm_domination_store(store):
+    """Compute three domination kernels into ``store``; returns graphs."""
+    from repro.combinatorics.domination import domination_number
+    from repro.graphs.families import cycle, star, wheel
+
+    graphs = [cycle(5), star(5), wheel(5)]
+    for g in graphs:
+        domination_number(g)
+    store.flush()
+    KERNEL_CACHE.clear()
+    return graphs
+
+
+def _storeless_worker_env() -> dict:
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src)
+    env["REPRO_STORE"] = "off"
+    return env
+
+
+def _spawn_cli_worker(address, env):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", f"{address[0]}:{address[1]}", "--retry", "30",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+class TestNetworkWarmStart:
+    """Store seeding, remote loads, and the status probe (PR 4)."""
+
+    def test_seeded_worker_recomputes_nothing(self, tmp_store):
+        """A worker with an *empty* local store, seeded at handshake,
+        serves every kernel from the seed tier: zero misses, zero
+        writes, identical values."""
+        from repro.combinatorics.domination import domination_number
+
+        graphs = _warm_domination_store(tmp_store)
+        tasks = [
+            Job(f"dom[{i}]", domination_number, (g,))
+            for i, g in enumerate(graphs)
+        ]
+        coord = Coordinator(tasks)
+        address = coord.start()
+        worker = _spawn_cli_worker(address, _storeless_worker_env())
+        result = coord.serve()
+        out, _ = worker.communicate(timeout=30)
+        assert worker.returncode == 0, out
+        assert "store row(s) seeded" in out
+        assert result.values == tuple(
+            domination_number.__wrapped__(g) for g in graphs
+        )
+        stats = result.store_stats
+        assert stats is not None
+        assert stats.seed_hits >= 1
+        assert stats.misses == 0  # nothing recomputed
+        assert stats.writes == 0  # nothing recomputed, so nothing to bank
+        assert stats.hits == stats.seed_hits
+        assert coord.rows_seeded >= len(graphs)
+
+    def test_remote_loads_serve_unseeded_misses(self, tmp_store):
+        """With seeding off but remote loads on, worker store misses are
+        answered by the coordinator's store over the wire."""
+        from repro.combinatorics.domination import domination_number
+
+        graphs = _warm_domination_store(tmp_store)
+        tasks = [
+            Job(f"dom[{i}]", domination_number, (g,))
+            for i, g in enumerate(graphs)
+        ]
+        coord = Coordinator(tasks, seed_store=False, remote_loads=True)
+        address = coord.start()
+        worker = _spawn_cli_worker(address, _storeless_worker_env())
+        result = coord.serve()
+        out, _ = worker.communicate(timeout=30)
+        assert worker.returncode == 0, out
+        stats = result.store_stats
+        assert stats.remote_hits >= 1
+        assert stats.seed_hits == 0
+        assert stats.misses == 0
+        assert coord.rows_seeded == 0
+        assert coord.loads_served == stats.remote_hits
+
+    def test_seeding_skipped_for_in_process_worker(self, tmp_store):
+        """An in-process worker reads the coordinator's store directly;
+        streaming it a copy would only duplicate memory."""
+        from repro.combinatorics.domination import domination_number
+
+        graphs = _warm_domination_store(tmp_store)
+        tasks = [
+            Job(f"dom[{i}]", domination_number, (g,))
+            for i, g in enumerate(graphs)
+        ]
+        result = _serve_with_local_worker(tasks)
+        assert result.values == tuple(
+            domination_number.__wrapped__(g) for g in graphs
+        )
+        assert result.store_stats.seed_hits == 0
+        assert result.store_stats.remote_hits == 0
+        assert not tmp_store.worker_mode
+        assert tmp_store.remote_tier is None
+        assert tmp_store.seed_rows == 0
+
+    def test_status_probe_reports_queue_and_seed_counters(self, tmp_store):
+        graphs = _warm_domination_store(tmp_store)
+        from repro.combinatorics.domination import domination_number
+
+        tasks = [
+            Job(f"dom[{i}]", domination_number, (g,))
+            for i, g in enumerate(graphs)
+        ]
+        coord = Coordinator(tasks)
+        address = coord.start()
+        try:
+            status = probe_status(address)
+            assert status["jobs"] == len(tasks)
+            assert status["queue_depth"] == len(tasks)
+            assert status["completed"] == 0
+            assert status["leases"] == 0
+            assert status["seed_store"] is True
+            assert status["workers"] == []
+            worker = _spawn_cli_worker(address, _storeless_worker_env())
+            result = coord.serve()
+            worker.communicate(timeout=30)
+            snapshot = coord.status_snapshot()
+            assert snapshot["completed"] == len(tasks)
+            assert snapshot["queue_depth"] == 0
+            assert snapshot["rows_seeded"] >= len(graphs)
+            (worker_row,) = snapshot["workers"]
+            assert worker_row["completed"] == len(tasks)
+            assert worker_row["seeded_rows"] == snapshot["rows_seeded"]
+            assert worker_row["jobs_per_minute"] > 0
+            assert result.values == tuple(
+                domination_number.__wrapped__(g) for g in graphs
+            )
+        finally:
+            coord.close()
+
+    def test_status_probe_dead_port_raises(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(DistError, match="no coordinator"):
+            probe_status(("127.0.0.1", port), timeout=1.0)
+
+    def test_cli_dist_status(self, tmp_store, capsys):
+        from repro.__main__ import main
+
+        with Coordinator(_mul_jobs(4)) as coord:
+            host, port = coord.address
+            assert main(["dist", "status", f"{host}:{port}"]) == 0
+            out = capsys.readouterr().out
+            assert "0/4 jobs done" in out
+            assert "queue depth 4" in out
+            assert main(["dist", "status", f"{host}:{port}", "--json"]) == 0
+            payload = __import__("json").loads(capsys.readouterr().out)
+            assert payload["queue_depth"] == 4
+
+    def test_seeded_sweep_cold_remote_equals_warm(self, tmp_store):
+        """Acceptance: workers with empty local stores, seeded from the
+        coordinator's warm store, reproduce the serial E10-style sweep
+        with >=1 seeded hit and zero recomputation of seeded kernels."""
+        serial = solvability_sweep(3, limit=6, executor=SerialExecutor())
+        tmp_store.flush()
+        KERNEL_CACHE.clear()
+
+        env = _storeless_worker_env()
+        workers = []
+        executor = DistExecutor(
+            ":0",
+            on_bound=lambda address: workers.extend(
+                _spawn_cli_worker(address, env) for _ in range(2)
+            ),
+        )
+        dist = solvability_sweep(3, limit=6, executor=executor)
+        try:
+            assert dist.rows == serial.rows
+            assert dist.headers == serial.headers
+            stats = dist.batch.store_stats
+            assert stats is not None
+            assert stats.seed_hits >= 1
+            shard = {
+                name: (h, m, w)
+                for name, h, m, w in stats.by_kernel
+            }["solvability_shard"]
+            hits, misses, writes = shard
+            assert hits == 6  # every shard answered warm
+            assert misses == 0  # zero recomputation of seeded kernels
+            assert writes == 0
+            assert executor.last_rows_seeded >= 1
+            assert dist.resumed == dist.sharded == 6
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.kill()
+                else:
+                    worker.communicate(timeout=10)

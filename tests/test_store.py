@@ -705,3 +705,169 @@ class TestConfiguration:
         assert main(["experiments", "E2"]) == 0
         out = capsys.readouterr().out
         assert "store:" in out and "writes" in out
+
+
+class TestSeedTier:
+    """The in-memory seed tier and the wire-format row round trips."""
+
+    def test_export_seed_filters_by_version(self, isolated_store):
+        isolated_store.save("alive", "1", ("a",), 1)
+        isolated_store.save("alive", "0", ("b",), 2)  # stale version
+        isolated_store.save("other", "1", ("c",), 3)  # unrequested kernel
+        isolated_store.flush()
+        rows = [
+            row
+            for chunk in isolated_store.export_seed({"alive": "1"})
+            for row in chunk
+        ]
+        assert [(r[0], r[1]) for r in rows] == [("alive", "1")]
+
+    def test_export_seed_chunks_by_rows_and_bytes(self, isolated_store):
+        _seed_rows(isolated_store, 7, blob_bytes=2048)
+        chunks = list(
+            isolated_store.export_seed(
+                {"seed_kernel": "1"}, chunk_rows=3, chunk_bytes=1 << 30
+            )
+        )
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        by_bytes = list(
+            isolated_store.export_seed(
+                {"seed_kernel": "1"}, chunk_rows=512, chunk_bytes=4096
+            )
+        )
+        assert len(by_bytes) > 1
+        assert sum(len(c) for c in by_bytes) == 7
+
+    def test_import_seed_serves_hits_without_touching_disk(
+        self, isolated_store
+    ):
+        isolated_store.save("k", "1", ("x",), {"deep": (1, 2)})
+        isolated_store.flush()
+        rows = [
+            row
+            for chunk in isolated_store.export_seed({"k": "1"})
+            for row in chunk
+        ]
+        worker = ResultStore(":memory:", mode="rw")
+        worker.worker_mode = True
+        assert worker.import_seed_rows(rows) == 1
+        assert worker.seed_rows == 1
+        assert worker.load("k", "1", ("x",)) == {"deep": (1, 2)}
+        stats = worker.stats()
+        assert (stats.hits, stats.misses, stats.seed_hits) == (1, 0, 1)
+        assert worker.clear_seed() == 1
+        assert worker.load("k", "1", ("x",)) is MISS
+
+    def test_import_seed_rejects_corrupt_rows(self, isolated_store):
+        isolated_store.save("k", "1", ("x",), 42)
+        isolated_store.flush()
+        (row,) = [
+            row
+            for chunk in isolated_store.export_seed({"k": "1"})
+            for row in chunk
+        ]
+        tampered = row[:3] + (b"not the blob",) + row[4:]
+        worker = ResultStore(":memory:", mode="rw")
+        assert worker.import_seed_rows([tampered, None, ("short",)]) == 0
+        assert worker.load("k", "1", ("x",)) is MISS
+
+    def test_ro_worker_mode_still_records_touches(self, isolated_store):
+        """An REPRO_STORE=ro warm-start worker cannot flush, but its hits
+        must still ship recency home (the coordinator applies them)."""
+        isolated_store.save("k", "1", ("x",), 42)
+        isolated_store.flush()
+        rows = [
+            row
+            for chunk in isolated_store.export_seed({"k": "1"})
+            for row in chunk
+        ]
+        worker = ResultStore(":memory:", mode="ro")
+        worker.worker_mode = True
+        worker.import_seed_rows(rows)
+        assert worker.load("k", "1", ("x",)) == 42
+        touches = worker.drain_touches()
+        assert len(touches) == 1
+        # A plain ro store outside worker mode keeps the old behavior:
+        # nothing to ship anywhere, so nothing is recorded.
+        plain = ResultStore(isolated_store.path, mode="ro")
+        assert plain.load("k", "1", ("x",)) == 42
+        assert plain.drain_touches() == ()
+        plain.close()
+
+    def test_seed_hits_ship_touches_home(self, isolated_store):
+        """A seeded row served on a worker must refresh the home copy's
+        last_used once its touches ride back (prune's recency signal)."""
+        isolated_store.save("k", "1", ("x",), 42)
+        isolated_store.flush()
+        conn = isolated_store._connection()
+        conn.execute("UPDATE results SET last_used = 1.0")
+        conn.commit()
+        rows = [
+            row
+            for chunk in isolated_store.export_seed({"k": "1"})
+            for row in chunk
+        ]
+        worker = ResultStore(":memory:", mode="rw")
+        worker.worker_mode = True
+        worker.import_seed_rows(rows)
+        assert worker.load("k", "1", ("x",)) == 42
+        touches = worker.drain_touches()
+        assert len(touches) == 1
+        isolated_store.absorb_touches(touches)
+        isolated_store.flush()
+        (value,) = conn.execute("SELECT last_used FROM results").fetchone()
+        assert value > 1.0
+
+
+class TestLastUsedRoundTrip:
+    """Imported rows keep their recency instead of resetting it."""
+
+    @staticmethod
+    def _last_used(store: ResultStore) -> float:
+        (value,) = (
+            store._connection()
+            .execute("SELECT last_used FROM results")
+            .fetchone()
+        )
+        return value
+
+    def test_imported_rows_carry_last_used(self, isolated_store, tmp_path):
+        worker = ResultStore(tmp_path / "w.sqlite", mode="rw")
+        worker.worker_mode = True
+        worker.save("k", "1", ("x",), 42)
+        (row,) = worker.drain_pending()
+        assert len(row) == 7  # (…, created, last_used) on the wire
+        hot = row[5] + 1000.0
+        touched = row[:6] + (hot,)
+        isolated_store.absorb_rows([touched])
+        isolated_store.flush()
+        assert self._last_used(isolated_store) == hot
+
+    def test_duplicate_import_never_regresses_last_used(
+        self, isolated_store
+    ):
+        isolated_store.save("k", "1", ("x",), 42)
+        isolated_store.flush()
+        hot = self._last_used(isolated_store) + 500.0
+        conn = isolated_store._connection()
+        conn.execute("UPDATE results SET last_used = ?", (hot,))
+        conn.commit()
+        # A requeued job recomputed the same row elsewhere with an older
+        # timestamp; re-importing it must not cool the hot copy down.
+        worker = ResultStore(":memory:", mode="rw")
+        worker.worker_mode = True
+        worker.save("k", "1", ("x",), 42)
+        isolated_store.import_delta(worker.export_delta())
+        assert self._last_used(isolated_store) == hot
+
+    def test_legacy_six_tuple_rows_still_import(self, isolated_store):
+        import time as _time
+
+        now = _time.time()
+        blob = __import__("pickle").dumps(42)
+        checksum = __import__("hashlib").sha256(blob).hexdigest()
+        legacy = ("k", "1", store_pkg.fingerprint(("x",)), blob, checksum, now)
+        isolated_store.absorb_rows([legacy])
+        isolated_store.flush()
+        assert isolated_store.load("k", "1", ("x",)) == 42
+        assert self._last_used(isolated_store) == now
