@@ -78,7 +78,7 @@ from .graphs import Digraph
 from .models import ClosedAboveModel, simple_closed_above, symmetric_closed_above
 from .verification import decide_one_round_solvability, verify_algorithm
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Digraph",

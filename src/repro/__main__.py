@@ -8,6 +8,7 @@ Usage::
     python -m repro experiments [E1 E6 ...] [--jobs 4 | --distributed :7071]
     python -m repro cache-stats [--n 5] [--passes 3] [--json]
     python -m repro sweep --n 4 [--jobs 4 | --distributed :7071] [--limit K]
+                          [--split-threshold 2048] [--subshard on|off]
     python -m repro worker --connect HOST:7071 [--jobs 2] [--retry 30]
     python -m repro dist status HOST:7071 [--json]
     python -m repro store stats [--json]
@@ -174,12 +175,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be a positive integer, got {args.jobs}")
+    if args.split_threshold < 1:
+        raise SystemExit(
+            f"--split-threshold must be a positive integer, "
+            f"got {args.split_threshold}"
+        )
     report = solvability_sweep(
         args.n,
         jobs=args.jobs,
         limit=args.limit,
         budget=args.budget,
         executor=_executor_for(args),
+        split_threshold=args.split_threshold,
+        subshard=args.subshard != "off",
     )
     if args.json:
         payload = {
@@ -187,16 +195,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "total_classes": report.total_classes,
             "sharded": report.sharded,
             "resumed": report.resumed,
+            "split_threshold": report.split_threshold,
+            "subshard": report.subshard,
+            "splits": report.splits,
+            "subshards": report.subshards,
+            "classes": [cls.to_dict() for cls in report.classes],
             "headers": report.headers,
             "rows": [[repr(cell) for cell in row] for row in report.rows],
             "cache": report.batch.stats.to_dict(),
         }
         if report.batch.store_stats is not None:
             payload["store"] = report.batch.store_stats.to_dict()
+        if report.batch.dist_metrics is not None:
+            payload["dist"] = report.batch.dist_metrics
         print(json.dumps(payload, indent=2))
     else:
         print(render_table(report.headers, report.rows))
         print(report.describe())
+        if report.batch.dist_metrics is not None:
+            from .engine.batch import describe_dist_metrics
+
+            print(describe_dist_metrics(report.batch.dist_metrics))
     return 0
 
 
@@ -246,6 +265,11 @@ def cmd_dist(args: argparse.Namespace) -> int:
         f"{status['rows_seeded']} row(s) seeded, "
         f"{status['loads_served']} load(s) served"
     )
+    if status.get("reductions_total"):
+        print(
+            f"  reductions: {status['reductions_done']}"
+            f"/{status['reductions_total']} fired"
+        )
     for worker in status["workers"]:
         print(
             f"  worker {worker['worker']}: {worker['completed']} done, "
@@ -523,6 +547,19 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument(
         "--budget", type=int, default=1 << 12,
         help="cap on each shard's fully enumerated model",
+    )
+    p_sweep.add_argument(
+        "--split-threshold", type=int, default=1 << 11,
+        help="estimated enumerated-model size at which a class's shard "
+        "is split into per-k sub-shards that persist, resume, and "
+        "distribute independently (default: 2048 — at n=4 only the "
+        "sparse giants split)",
+    )
+    p_sweep.add_argument(
+        "--subshard", choices=("on", "off"), default="on",
+        help="dynamic sub-shard scheduling: 'off' forces every class "
+        "onto the monolithic one-job-per-class path (the reference the "
+        "equivalence tests compare against; default: on)",
     )
     p_sweep.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"

@@ -21,7 +21,7 @@ import sys
 import time
 from collections.abc import Callable
 
-from ..engine.batch import Job, run_batch
+from ..engine.batch import Job, describe_dist_metrics, run_batch
 from ..engine.cache import CacheStats
 from .render import render_table
 from .tables import (
@@ -127,6 +127,10 @@ def run(
             f"{_cache_footer(batch.stats, batch.store_stats)}",
             file=stream,
         )
+    if batch.dist_metrics is not None:
+        # Coordinator-side accounting of a distributed run: how the
+        # cluster behaved, not just what it computed.
+        print(describe_dist_metrics(batch.dist_metrics), file=stream)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,14 @@ Delivery is at-least-once: a job leased to a worker that disconnects or
 stops heartbeating is requeued for the next worker.  Jobs are pure and
 results content-addressed, so replays are harmless — the first result for
 an index wins and late duplicates are dropped.
+
+Scheduling is FIFO over the submitted task list, so submission order *is*
+priority order: the sweep planner exploits this by emitting its jobs
+heaviest-first (estimated cost descending), which keeps every worker busy
+on the expensive tail instead of stranding one worker on a giant class
+while the rest drain trivia.  Two-phase plans (``reductions=``) fire each
+reduction in this process the moment its last input job lands; see
+:class:`~repro.engine.batch.Reduction`.
 """
 
 from __future__ import annotations
@@ -31,14 +39,17 @@ import threading
 import time
 from collections import deque
 from collections.abc import Callable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..engine.batch import (
     BatchResult,
     Job,
     JobFailure,
     JobResult,
+    Reduction,
+    _ReductionState,
     finalize_outcomes,
+    fire_reduction,
 )
 from ..engine.cache import KERNEL_CACHE, CacheStats
 from ..errors import DistError
@@ -130,6 +141,12 @@ class Coordinator:
         stream; ``None`` seeds every kernel registered in this process at
         its current version — which covers exactly the kernels the queued
         task set can call, since jobs only reach registered kernels.
+    reductions:
+        Optional two-phase plan (:class:`~repro.engine.batch.Reduction`):
+        each reduction fires *in this process* — the store-writing parent
+        — the moment the last of its input jobs completes, while other
+        workers keep pulling phase-1 jobs.  Workers never see reductions,
+        so the wire protocol is untouched.
     log:
         Optional callable receiving one-line progress strings (worker
         connects/disconnects, requeues); silent when ``None``.
@@ -147,11 +164,14 @@ class Coordinator:
         seed_store: bool = True,
         remote_loads: bool | None = None,
         seed_versions: Mapping[str, str] | None = None,
+        reductions: Sequence[Reduction] = (),
         log: Callable[[str], None] | None = None,
     ):
         if lease_timeout <= 0:
             raise DistError(f"lease_timeout must be positive, got {lease_timeout}")
         self._tasks = list(tasks)
+        self._reductions = _ReductionState(len(self._tasks), reductions)
+        self._reductions_pending = len(self._reductions.reductions)
         self._host = host
         self._port = port
         self._lease_timeout = lease_timeout
@@ -236,6 +256,33 @@ class Coordinator:
                 "remote_loads": self._remote_loads,
                 "rows_seeded": self._rows_seeded,
                 "loads_served": self._loads_served,
+                "reductions_total": len(self._reductions.reductions),
+                "reductions_done": (
+                    len(self._reductions.reductions)
+                    - self._reductions_pending
+                ),
+                "workers": [
+                    info.snapshot(name, now)
+                    for name, info in sorted(self._worker_info.items())
+                ],
+            }
+
+    def metrics_snapshot(self) -> dict:
+        """The coordinator-side metrics threaded onto the batch result.
+
+        A subset of :meth:`status_snapshot` that stays meaningful after
+        the run: per-worker throughput plus the seed/serve/requeue
+        counters.  :class:`~repro.dist.executor.DistExecutor` attaches it
+        to ``BatchResult.dist_metrics`` so experiment footers and
+        ``sweep --json`` can report cluster behaviour without a live
+        probe.
+        """
+        now = time.monotonic()
+        with self._lock:
+            return {
+                "requeues": self._requeues,
+                "rows_seeded": self._rows_seeded,
+                "loads_served": self._loads_served,
                 "workers": [
                     info.snapshot(name, now)
                     for name, info in sorted(self._worker_info.items())
@@ -297,22 +344,27 @@ class Coordinator:
             self.close()
         with self._lock:
             outcomes = list(self._outcomes)
+            reduction_outcomes = list(self._reductions.outcomes)
             workers = max(1, len(self._workers_seen))
             remote_cache = self._remote_cache_delta
             remote_store = self._remote_store_delta
         # Absorb only the activity that happened in *other* processes:
         # an in-process worker already mutated the live counters, and
         # run_batch's serial path likewise never absorbs its own deltas.
+        # (Reductions ran in this process, so finalize merges their
+        # deltas into the result without absorbing them — same rule.)
         KERNEL_CACHE.absorb(remote_cache)
         if self._store is not None and remote_store is not None:
             self._store.absorb_stats(remote_store)
-        return finalize_outcomes(
+        result = finalize_outcomes(
             [o for o in outcomes if o is not None],
             workers=workers,
             store=self._store,
             on_error=on_error,
             absorb=False,
+            reduction_outcomes=reduction_outcomes,
         )
+        return replace(result, dist_metrics=self.metrics_snapshot())
 
     def close(self) -> None:
         """Stop accepting and wake the serving threads."""
@@ -535,7 +587,10 @@ class Coordinator:
                 pass
             self._outcomes[index] = outcome
             self._remaining -= 1
-            done = self._remaining == 0
+            # Under the same lock as the outcome write, so a result can
+            # unblock each reduction exactly once even with several
+            # connection handlers completing jobs concurrently.
+            ready = self._reductions.ready_after(index)
             if not local and isinstance(outcome, JobResult):
                 self._remote_cache_delta = self._remote_cache_delta.merge(
                     outcome.stats
@@ -553,9 +608,46 @@ class Coordinator:
             if outcome.store_rows:
                 self._store.absorb_rows(outcome.store_rows)
                 self._store.flush()
+        for rid in ready:
+            self._run_reduction(rid)
+        self._maybe_done()
+        return True
+
+    def _run_reduction(self, rid: int) -> None:
+        """Fire one ready reduction in this (the coordinator's) process.
+
+        Runs on the connection-handler thread that delivered the last
+        input — cheap by contract (reductions are pure merges), and
+        executing here is what makes "fires as the last sub-shard lands"
+        literal rather than a post-batch sweep.  The reduction's store
+        writes are flushed immediately, so a coordinator killed later has
+        already banked every reduced row.
+        """
+        reduction = self._reductions.reductions[rid]
+        with self._lock:
+            inputs = [self._outcomes[i] for i in reduction.over]
+        outcome = fire_reduction(reduction, inputs)
+        if self._store is not None and isinstance(outcome, JobResult):
+            self._store.absorb_touches(outcome.store_touches)
+            if outcome.store_rows:
+                self._store.absorb_rows(outcome.store_rows)
+                self._store.flush()
+        with self._lock:
+            self._reductions.outcomes[rid] = outcome
+            self._reductions_pending -= 1
+        self._log(f"reduction {reduction.name} fired")
+
+    def _maybe_done(self) -> None:
+        """Signal completion once every job *and* every reduction is in.
+
+        Called after job completions and reduction firings alike: two
+        handlers may race to deliver the last results, and whichever
+        records the final missing piece trips the event.
+        """
+        with self._lock:
+            done = self._remaining == 0 and self._reductions_pending == 0
         if done:
             self._done.set()
-        return True
 
     def _release(self, owner: int, held: set[int], worker: str) -> None:
         """Requeue every job this connection still holds (worker died)."""

@@ -45,7 +45,13 @@ __all__ = [
 
 @runtime_checkable
 class Executor(Protocol):
-    """Anything that can run a batch of jobs with run_batch semantics."""
+    """Anything that can run a batch of jobs with run_batch semantics.
+
+    ``reductions`` is the two-phase plan of
+    :class:`~repro.engine.batch.Reduction`\\ s: every executor fires each
+    reduction in the batch parent (serial driver, pool parent, or
+    distributed coordinator) as soon as its last input job lands.
+    """
 
     def run(
         self,
@@ -53,6 +59,7 @@ class Executor(Protocol):
         *,
         warmup: Callable[[], object] | None = None,
         on_error: str = "raise",
+        reductions: Sequence = (),
     ) -> BatchResult: ...
 
 
@@ -61,8 +68,14 @@ class SerialExecutor:
 
     jobs = 1
 
-    def run(self, tasks, *, warmup=None, on_error="raise"):
-        return run_batch(tasks, jobs=1, warmup=warmup, on_error=on_error)
+    def run(self, tasks, *, warmup=None, on_error="raise", reductions=()):
+        return run_batch(
+            tasks,
+            jobs=1,
+            warmup=warmup,
+            on_error=on_error,
+            reductions=reductions,
+        )
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -76,9 +89,13 @@ class PoolExecutor:
             raise DistError(f"jobs must be positive, got {jobs}")
         self.jobs = jobs
 
-    def run(self, tasks, *, warmup=None, on_error="raise"):
+    def run(self, tasks, *, warmup=None, on_error="raise", reductions=()):
         return run_batch(
-            tasks, jobs=self.jobs, warmup=warmup, on_error=on_error
+            tasks,
+            jobs=self.jobs,
+            warmup=warmup,
+            on_error=on_error,
+            reductions=reductions,
         )
 
     def __repr__(self) -> str:
@@ -120,8 +137,12 @@ class DistExecutor:
         self.last_workers = 0
         self.last_rows_seeded = 0
         self.last_loads_served = 0
+        self.last_metrics: dict | None = None
+        """Coordinator-side metrics of the last run (the same mapping as
+        ``BatchResult.dist_metrics``): per-worker throughput snapshots
+        plus the seed/serve/requeue counters."""
 
-    def run(self, tasks, *, warmup=None, on_error="raise"):
+    def run(self, tasks, *, warmup=None, on_error="raise", reductions=()):
         from .coordinator import Coordinator
 
         coordinator = Coordinator(
@@ -132,6 +153,7 @@ class DistExecutor:
             warmup=warmup,
             seed_store=self.seed_store,
             remote_loads=self.remote_loads,
+            reductions=reductions,
             log=self.log,
         )
         with coordinator:
@@ -143,6 +165,7 @@ class DistExecutor:
         self.last_workers = result.jobs
         self.last_rows_seeded = coordinator.rows_seeded
         self.last_loads_served = coordinator.loads_served
+        self.last_metrics = result.dist_metrics
         return result
 
     def __repr__(self) -> str:

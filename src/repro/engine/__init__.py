@@ -45,8 +45,10 @@ from .batch import (
     JobError,
     JobFailure,
     JobResult,
+    Reduction,
     execute_job,
     finalize_outcomes,
+    fire_reduction,
     run_batch,
 )
 from .cache import (
@@ -84,7 +86,9 @@ __all__ = [
     "JobError",
     "JobFailure",
     "JobResult",
+    "Reduction",
     "execute_job",
     "finalize_outcomes",
+    "fire_reduction",
     "run_batch",
 ]

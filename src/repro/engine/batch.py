@@ -27,6 +27,15 @@ persisted every finished job, which is what makes sharded sweeps
 resumable.  The distributed executor preserves the same invariant with
 the coordinator in the parent role.
 
+Two-phase plans: a batch may carry :class:`Reduction`\\ s — phase-2 jobs
+that fold the values of named phase-1 jobs into one result.  Reductions
+fire *as each group's last input lands* (no barrier between phases) and
+always execute in the batch parent — the store-writing process — so a
+reduction may bank derived rows without touching the single-writer
+invariant.  The sharded sweeps use this to decompose one giant shard
+into independently schedulable sub-shards whose verdicts a pure reducer
+merges back into the monolithic row.
+
 Failures: every job runs to completion regardless of earlier failures,
 and each failure is recorded as a :class:`JobFailure` naming the job that
 raised.  ``on_error="raise"`` (the default) then raises a single
@@ -56,8 +65,11 @@ __all__ = [
     "JobFailure",
     "JobError",
     "BatchResult",
+    "Reduction",
     "run_batch",
+    "describe_dist_metrics",
     "execute_job",
+    "fire_reduction",
     "finalize_outcomes",
 ]
 
@@ -102,6 +114,31 @@ class JobResult:
     """Last-used refreshes for store rows this job read (drained like
     ``store_rows``; the parent applies them so prune's recency signal
     survives pool/dist execution)."""
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """A phase-2 job: fold the values of earlier jobs into one result.
+
+    ``fn`` is called as ``fn(values, *args, **kwargs)`` where ``values``
+    are the ``over`` jobs' return values in ``over`` order.  Like every
+    job it must be a pure function of its inputs — but unlike phase-1
+    jobs it always runs in the batch parent (serial driver, pool parent,
+    or distributed coordinator), the moment the last ``over`` job's
+    result lands.  There is no barrier: with several reductions in
+    flight, each fires independently of the others' progress, so a slow
+    group never delays a finished one.
+
+    If any ``over`` job failed, the reduction is not executed and is
+    recorded as a :class:`JobFailure` naming the failed inputs.
+    """
+
+    name: str
+    fn: Callable
+    over: tuple[int, ...]
+    """Submission indices of the phase-1 jobs this reduction consumes."""
+    args: tuple = ()
+    kwargs: Mapping = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -179,6 +216,19 @@ class BatchResult:
     """Failed jobs, by name and submission index (``on_error="collect"``);
     always empty on the default raising path."""
 
+    reduction_results: tuple[JobResult | None, ...] = ()
+    """Phase-2 results, positionally aligned with the submitted
+    :class:`Reduction` list: slot ``i`` is reduction ``i``'s result, or
+    ``None`` when that reduction failed or was skipped over failed
+    inputs (``on_error="collect"`` — the failure itself lands on
+    ``failures``).  On the default raising path every slot is a
+    :class:`JobResult`."""
+
+    dist_metrics: Mapping | None = None
+    """Coordinator-side metrics of a distributed batch (per-worker
+    throughput, rows seeded, loads served, requeues); ``None`` for the
+    serial and pool paths."""
+
     @property
     def values(self) -> tuple[object, ...]:
         return tuple(r.value for r in self.results)
@@ -193,6 +243,26 @@ def _active_store():
     from .. import store as result_store
 
     return result_store.active_store()
+
+
+def describe_dist_metrics(metrics: Mapping) -> str:
+    """Human-readable rendering of :attr:`BatchResult.dist_metrics`.
+
+    One formatter shared by the sweep CLI and the experiment runner, so
+    the coordinator's accounting reads the same everywhere it surfaces.
+    """
+    lines = [
+        f"dist: {metrics['rows_seeded']} row(s) seeded, "
+        f"{metrics['loads_served']} load(s) served, "
+        f"{metrics['requeues']} requeue(s)"
+    ]
+    for worker in metrics.get("workers", ()):
+        lines.append(
+            f"  worker {worker['worker']}: {worker['completed']} done, "
+            f"{worker['failed']} failed, "
+            f"{worker['jobs_per_minute']:.1f} jobs/min"
+        )
+    return "\n".join(lines)
 
 
 def _execute_indexed(
@@ -249,6 +319,79 @@ def execute_job(job: Job) -> JobResult | JobFailure:
     )
 
 
+class _ReductionState:
+    """Track which reductions become ready as phase-1 outcomes land.
+
+    Validation happens up front (indices in range, no empty or duplicate
+    ``over``), so a malformed plan fails before any job runs.  Callers
+    serialise access themselves: :func:`run_batch` is single-threaded in
+    the parent, and the distributed coordinator calls ``ready_after``
+    under its queue lock.
+    """
+
+    def __init__(self, task_count: int, reductions: Sequence[Reduction]):
+        self.reductions = tuple(reductions)
+        self.outcomes: list[JobResult | JobFailure | None] = [None] * len(
+            self.reductions
+        )
+        self._remaining: list[int] = []
+        self._by_index: dict[int, list[int]] = {}
+        for rid, reduction in enumerate(self.reductions):
+            over = tuple(reduction.over)
+            if not over:
+                raise EngineError(
+                    f"reduction {reduction.name!r} consumes no jobs"
+                )
+            if len(set(over)) != len(over):
+                raise EngineError(
+                    f"reduction {reduction.name!r} lists a job twice"
+                )
+            for index in over:
+                if not 0 <= index < task_count:
+                    raise EngineError(
+                        f"reduction {reduction.name!r} consumes job index "
+                        f"{index}, but the batch has {task_count} job(s)"
+                    )
+                self._by_index.setdefault(index, []).append(rid)
+            self._remaining.append(len(over))
+
+    def ready_after(self, index: int) -> list[int]:
+        """Reduction ids whose last input is the job at ``index``."""
+        ready = []
+        for rid in self._by_index.get(index, ()):
+            self._remaining[rid] -= 1
+            if self._remaining[rid] == 0:
+                ready.append(rid)
+        return ready
+
+
+def fire_reduction(
+    reduction: Reduction, inputs: Sequence[JobResult | JobFailure]
+) -> JobResult | JobFailure:
+    """Execute one ready reduction over its collected input outcomes.
+
+    Runs in the calling (parent) process via :func:`execute_job`, so the
+    returned payload carries the reduction's own timings, cache/store
+    deltas and drained store rows exactly like a phase-1 job's.  If any
+    input failed, the reduction is skipped and reported as a
+    :class:`JobFailure` naming the failed inputs.
+    """
+    failed = [o for o in inputs if isinstance(o, JobFailure)]
+    if failed:
+        names = ", ".join(repr(f.name) for f in failed)
+        return JobFailure(
+            name=reduction.name,
+            message=f"not reduced: input job(s) failed: {names}",
+        )
+    job = Job(
+        name=reduction.name,
+        fn=reduction.fn,
+        args=(tuple(o.value for o in inputs), *reduction.args),
+        kwargs=reduction.kwargs,
+    )
+    return execute_job(job)
+
+
 def finalize_outcomes(
     outcomes: Sequence[JobResult | JobFailure],
     *,
@@ -256,6 +399,7 @@ def finalize_outcomes(
     store,
     on_error: str = "raise",
     absorb: bool | None = None,
+    reduction_outcomes: Sequence[JobResult | JobFailure] = (),
 ) -> BatchResult:
     """Merge per-job outcomes into a :class:`BatchResult`.
 
@@ -264,6 +408,12 @@ def finalize_outcomes(
     cache and store statistics when the work happened elsewhere
     (``absorb``, defaulting to ``workers > 1``), and applies the
     ``on_error`` policy to any :class:`JobFailure` outcomes.
+
+    ``reduction_outcomes`` are the already-fired phase-2 outcomes in
+    reduction submission order.  Reductions always ran in *this* process,
+    so their deltas are merged into the returned statistics but never
+    absorbed (the live counters already saw them) — exactly the serial
+    path's accounting.
     """
     if on_error not in ("raise", "collect"):
         raise EngineError(
@@ -291,9 +441,28 @@ def finalize_outcomes(
     if absorb:
         # Worker processes mutated their own cache copies; fold their
         # statistics into the parent so cache-stats reports see them.
+        # (Reduction deltas are parent-local and excluded on purpose.)
         KERNEL_CACHE.absorb(merged)
         if store is not None and merged_store is not None:
             store.absorb_stats(merged_store)
+    # Keep positional alignment with the submitted reduction list: a
+    # failed (or input-starved) reduction leaves a None slot, so
+    # collect-mode callers can still index results by reduction id.
+    reduction_results: list[JobResult | None] = []
+    for outcome in reduction_outcomes:
+        if outcome is None or isinstance(outcome, JobFailure):
+            if isinstance(outcome, JobFailure):
+                failures.append(outcome)
+            reduction_results.append(None)
+            continue
+        reduction_results.append(outcome)
+        merged = merged.merge(outcome.stats)
+        if outcome.store_stats is not None:
+            merged_store = (
+                outcome.store_stats
+                if merged_store is None
+                else merged_store.merge(outcome.store_stats)
+            )
     if failures and on_error == "raise":
         error = JobError(failures)
         raise error from failures[0].cause
@@ -303,6 +472,7 @@ def finalize_outcomes(
         jobs=workers,
         store_stats=merged_store,
         failures=tuple(failures),
+        reduction_results=tuple(reduction_results),
     )
 
 
@@ -323,6 +493,7 @@ def run_batch(
     warmup: Callable[[], object] | None = None,
     on_error: str = "raise",
     executor=None,
+    reductions: Sequence[Reduction] = (),
 ) -> BatchResult:
     """Execute ``tasks`` and return their results in submission order.
 
@@ -351,13 +522,22 @@ def run_batch(
         Optional :mod:`repro.dist` executor; when given, ``jobs`` is
         ignored and the batch is delegated to it (``DistExecutor`` runs
         the same jobs across hosts with identical results).
+    reductions:
+        Optional phase-2 plan: each :class:`Reduction` fires in this
+        process the moment the last of its ``over`` jobs completes —
+        streaming, no barrier — and its store writes are persisted
+        immediately like any job's.  Results land on
+        ``BatchResult.reduction_results`` in reduction order.
     """
     if executor is not None:
-        return executor.run(tasks, warmup=warmup, on_error=on_error)
+        return executor.run(
+            tasks, warmup=warmup, on_error=on_error, reductions=reductions
+        )
     tasks = list(tasks)
     if jobs < 1:
         raise EngineError(f"jobs must be positive, got {jobs}")
     workers = min(jobs, len(tasks))
+    plan = _ReductionState(len(tasks), reductions)
     store = _active_store()
     if store is not None:
         # Persist (or at least re-own) anything already pending so forked
@@ -379,6 +559,19 @@ def run_batch(
                 store.flush()
 
     outcomes: list[JobResult | JobFailure | None] = [None] * len(tasks)
+
+    def _land(index: int, outcome: JobResult | JobFailure) -> None:
+        """Record one completion and fire any reduction it unblocks."""
+        _absorb(outcome)
+        outcomes[index] = outcome
+        for rid in plan.ready_after(index):
+            reduction = plan.reductions[rid]
+            fired = fire_reduction(
+                reduction, [outcomes[i] for i in reduction.over]
+            )
+            _absorb(fired)
+            plan.outcomes[rid] = fired
+
     if workers <= 1 or _in_daemon_process():
         workers = 1
         if warmup is not None:
@@ -387,8 +580,7 @@ def run_batch(
             outcome = execute_job(job)
             if isinstance(outcome, JobFailure):
                 outcome = replace(outcome, index=index)
-            _absorb(outcome)
-            outcomes[index] = outcome
+            _land(index, outcome)
     else:
         try:
             context = multiprocessing.get_context("fork")
@@ -399,15 +591,16 @@ def run_batch(
         ) as pool:
             # imap_unordered (not map): completions stream back as they
             # finish, so the parent persists each one immediately even
-            # while a slow job holds up earlier submission slots.
+            # while a slow job holds up earlier submission slots — and
+            # reductions fire mid-batch, as soon as their group is in.
             for index, outcome in pool.imap_unordered(
                 _execute_indexed, list(enumerate(tasks))
             ):
-                _absorb(outcome)
-                outcomes[index] = outcome
+                _land(index, outcome)
     return finalize_outcomes(
         [o for o in outcomes if o is not None],
         workers=workers,
         store=store,
         on_error=on_error,
+        reduction_outcomes=plan.outcomes,
     )

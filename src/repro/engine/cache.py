@@ -358,8 +358,56 @@ def cached_kernel(
                 target.store(kernel, cache_key, value)
             return value
 
+        def seed(value, *args, **kwargs):
+            """Install a known result for these arguments without computing.
+
+            For callers that assembled this kernel's result from
+            independently computed parts (e.g. a sweep reduction merging
+            per-``k`` sub-verdicts into the monolithic shard verdict):
+            the merged value is banked in the memo cache and — when the
+            persistent store is active — written back under this
+            kernel's ``(name, version, key)`` identity, so later calls
+            are indistinguishable from a computed-and-cached result.
+
+            If either tier already holds a value for the key, that value
+            wins and nothing is overwritten (results are pure functions
+            of the key, so any banked value is already the right one).
+            Returns True when this call installed ``value``; False when
+            the caches are disabled or the key was already banked.
+
+            Statistics: seeding counts like the lookup-then-install it
+            is — a cold seed books a miss plus a store write (the merge
+            *did* produce and bank a fresh row), an already-banked key
+            books a hit.  Kernel counters therefore stay consistent
+            with the write counts observers see.
+            """
+            target = store if store is not None else KERNEL_CACHE
+            if not target.enabled:
+                return False
+            cache_key = (
+                key(*args, **kwargs)
+                if key is not None
+                else (args, tuple(sorted(kwargs.items())))
+            )
+            if target.lookup(kernel, cache_key) is not _MISSING:
+                return False
+            installed = True
+            tier = _second_tier()
+            if tier is not None:
+                from ..store.backend import MISS as _STORE_MISS
+
+                stored = tier.load(kernel, kernel_version, cache_key)
+                if stored is _STORE_MISS:
+                    tier.save(kernel, kernel_version, cache_key, value)
+                else:
+                    value = stored
+                    installed = False
+            target.store(kernel, cache_key, value)
+            return installed
+
         wrapper.kernel_name = kernel
         wrapper.kernel_version = kernel_version
+        wrapper.seed = seed
         return wrapper
 
     return decorate

@@ -168,6 +168,46 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["sweep", "--n", "3", "--jobs", "0"])
 
+    def test_rejects_non_positive_split_threshold(self, tmp_store):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--n", "3", "--split-threshold", "0"])
+
+    def test_subshard_json_reports_split_decisions(self, capsys, tmp_store):
+        code = main(
+            ["sweep", "--n", "3", "--limit", "2", "--json",
+             "--split-threshold", "1"]
+        )
+        assert code == 0
+        split = json.loads(capsys.readouterr().out)
+        assert split["split_threshold"] == 1
+        assert split["subshard"] is True
+        assert split["splits"] == 2
+        assert split["subshards"] == 8  # bounds + k=1..3, per class
+        assert len(split["classes"]) == 2
+        for cls in split["classes"]:
+            assert cls["split"] is True and cls["subshards"] == 4
+            assert cls["elapsed"] >= 0
+        # The monolithic reference (--subshard off) agrees row for row.
+        KERNEL_CACHE.clear()
+        store_pkg.configure()  # fresh instance, same file: new process
+        assert main(
+            ["sweep", "--n", "3", "--limit", "2", "--json",
+             "--subshard", "off"]
+        ) == 0
+        mono = json.loads(capsys.readouterr().out)
+        assert mono["rows"] == split["rows"]
+        assert mono["splits"] == 0 and mono["subshards"] == 0
+        # The split run banked the merged verdicts: the monolithic
+        # rerun resumed every class without a CSP search.
+        assert mono["resumed"] == 2
+
+    def test_sweep_text_mentions_splits(self, capsys, tmp_store):
+        assert main(
+            ["sweep", "--n", "3", "--limit", "2", "--split-threshold", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 class(es) split into 8 sub-shards" in out
+
 
 class TestStoreCLI:
     def test_stats_on_missing_file_is_empty(self, capsys, tmp_path):

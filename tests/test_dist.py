@@ -40,7 +40,14 @@ from repro.dist.protocol import (
     send_message,
 )
 from repro.dist.worker import run_worker
-from repro.engine import KERNEL_CACHE, Job, JobFailure, JobResult, execute_job
+from repro.engine import (
+    KERNEL_CACHE,
+    Job,
+    JobFailure,
+    JobResult,
+    Reduction,
+    execute_job,
+)
 from repro.errors import DistError
 
 
@@ -212,6 +219,110 @@ class TestEquivalence:
         assert failure.index == 1
         assert "ZeroDivisionError" in failure.message
         assert "division by zero" in failure.traceback
+
+
+def _sum_values(values):
+    return sum(values)
+
+
+def _sum_values_pid(values):
+    return (sum(values), os.getpid())
+
+
+class TestCoordinatorReductions:
+    """Two-phase plans through the distributed executor."""
+
+    def test_reductions_fire_on_the_coordinator(self, fresh_cache):
+        tasks = _mul_jobs(6)
+        reductions = [
+            Reduction("sum:low", _sum_values_pid, over=(0, 1, 2)),
+            Reduction("sum:high", _sum_values_pid, over=(3, 4, 5)),
+        ]
+        coord = Coordinator(tasks, reductions=reductions)
+        host, port = coord.start()
+        thread = threading.Thread(
+            target=run_worker, args=(host, port), daemon=True
+        )
+        thread.start()
+        result = coord.serve()
+        thread.join(timeout=10.0)
+        assert result.values == tuple(i * 7 for i in range(6))
+        assert [r.value for r in result.reduction_results] == [
+            (0 + 7 + 14, os.getpid()),  # reductions ran in *this* process
+            (21 + 28 + 35, os.getpid()),
+        ]
+        snapshot = coord.status_snapshot()
+        assert snapshot["reductions_total"] == 2
+        assert snapshot["reductions_done"] == 2
+
+    def test_dist_reductions_match_serial(self, fresh_cache):
+        tasks = _mul_jobs(4)
+        reductions = [Reduction("sum", _sum_values, over=(0, 1, 2, 3))]
+        serial = SerialExecutor().run(tasks, reductions=reductions)
+        dist = _serve_with_local_worker(tasks, reductions=reductions)
+        assert serial.values == dist.values
+        assert [r.value for r in serial.reduction_results] == [
+            r.value for r in dist.reduction_results
+        ]
+
+    def test_reduction_failure_surfaces_in_collect_mode(self, fresh_cache):
+        tasks = [
+            Job("ok", operator.mul, (3, 7)),
+            Job("boom", operator.truediv, (1, 0)),
+        ]
+        reductions = [Reduction("sum", _sum_values, over=(0, 1))]
+        result = _serve_with_local_worker(
+            tasks, on_error="collect", reductions=reductions
+        )
+        assert {f.name for f in result.failures} == {"boom", "sum"}
+        assert result.reduction_results == (None,)  # slot kept, not fired
+
+
+class TestDistMetricsInBatchResult:
+    """Coordinator-side metrics threaded onto the batch result."""
+
+    def test_serial_and_pool_have_no_dist_metrics(self, fresh_cache):
+        tasks = _mul_jobs(3)
+        assert SerialExecutor().run(tasks).dist_metrics is None
+        assert PoolExecutor(2).run(tasks).dist_metrics is None
+
+    def test_dist_metrics_report_per_worker_throughput(self, fresh_cache):
+        tasks = _mul_jobs(5)
+        executor = DistExecutor(
+            ":0",
+            on_bound=lambda address: threading.Thread(
+                target=run_worker, args=address, daemon=True
+            ).start(),
+        )
+        result = executor.run(tasks)
+        metrics = result.dist_metrics
+        assert metrics is not None
+        assert metrics["requeues"] == executor.last_requeues == 0
+        assert metrics["rows_seeded"] == executor.last_rows_seeded
+        assert metrics["loads_served"] == executor.last_loads_served
+        assert executor.last_metrics is metrics
+        (worker,) = metrics["workers"]
+        assert worker["completed"] == len(tasks)
+        assert worker["failed"] == 0
+        assert worker["jobs_per_minute"] > 0
+
+    def test_seeded_run_metrics_count_rows_seeded(self, tmp_store):
+        graphs = _warm_domination_store(tmp_store)
+        from repro.combinatorics.domination import domination_number
+
+        tasks = [
+            Job(f"dom[{i}]", domination_number, (g,))
+            for i, g in enumerate(graphs)
+        ]
+        coord = Coordinator(tasks)
+        address = coord.start()
+        worker = _spawn_cli_worker(address, _storeless_worker_env())
+        result = coord.serve()
+        worker.communicate(timeout=30)
+        metrics = result.dist_metrics
+        assert metrics["rows_seeded"] >= len(graphs)
+        (worker_row,) = metrics["workers"]
+        assert worker_row["seeded_rows"] == metrics["rows_seeded"]
 
 
 class TestAtLeastOnce:

@@ -1,0 +1,444 @@
+"""Tests for dynamic sub-shard scheduling: two-phase plans and sweeps.
+
+The contract of the sub-sharding PR: splitting a class's shard into
+per-``k`` sub-shards plus a reduction produces rows *byte-identical* to
+the monolithic reference — serial, pool, and distributed; cold and warm
+from the store — while the sub-verdicts persist, resume, and bank
+independently (a sweep killed between a class's sub-shards loses only
+the unfinished ones).
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+import threading
+
+import pytest
+
+import repro.store as store_pkg
+from repro.analysis.sweeps import (
+    DEFAULT_BUDGET,
+    DEFAULT_SPLIT_THRESHOLD,
+    _class_bounds,
+    _shard_verdict,
+    _subshard_solvable,
+    estimate_class_cost,
+    plan_sweep,
+    solvability_sweep,
+    sweep_row,
+)
+from repro.dist import DistExecutor, PoolExecutor, SerialExecutor
+from repro.dist.worker import run_worker
+from repro.engine import (
+    KERNEL_CACHE,
+    Job,
+    JobError,
+    Reduction,
+    run_batch,
+)
+from repro.errors import EngineError
+from repro.graphs.generators import iter_all_digraphs
+from repro.graphs.symmetry import iter_isomorphism_classes
+
+
+def _representatives(n: int):
+    """The sweep's class representatives in its densest-first order."""
+    return sorted(
+        iter_isomorphism_classes(iter_all_digraphs(n)),
+        key=lambda g: (-g.proper_edge_count, g.out_rows),
+    )
+
+
+@pytest.fixture
+def no_store():
+    """Run with the persistent store off and a cold kernel cache."""
+    KERNEL_CACHE.clear()
+    with store_pkg.RESULT_STORE.disabled():
+        yield
+    KERNEL_CACHE.clear()
+
+
+@pytest.fixture
+def isolated_store(tmp_path):
+    """Point the global store at a fresh rw temp file for the test."""
+    KERNEL_CACHE.clear()
+    store = store_pkg.configure(path=tmp_path / "subshard.sqlite", mode="rw")
+    yield store
+    store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
+    KERNEL_CACHE.clear()
+
+
+def _fresh_process(store) -> None:
+    """Simulate a brand-new process: empty RAM cache, same store file."""
+    store.flush()
+    KERNEL_CACHE.clear()
+    store_pkg.configure(path=store.path, mode=store.mode)
+
+
+def _sum_values(values):
+    return sum(values)
+
+
+def _sum_values_plus(values, extra):
+    return sum(values) + extra
+
+
+def _reduction_pid(values):
+    return os.getpid()
+
+
+def _slow_identity(x):
+    import time
+
+    time.sleep(0.05)
+    return x
+
+
+class TestReductionMachinery:
+    """Engine-level behaviour of run_batch's two-phase plans."""
+
+    def test_serial_reductions_fire_with_values_in_over_order(self):
+        tasks = [Job(f"mul[{i}]", operator.mul, (i, 10)) for i in range(5)]
+        reductions = [
+            Reduction("sum:even", _sum_values, over=(0, 2, 4)),
+            Reduction("sum:odd", _sum_values_plus, over=(1, 3), args=(100,)),
+        ]
+        result = run_batch(tasks, jobs=1, reductions=reductions)
+        assert result.values == (0, 10, 20, 30, 40)
+        assert [r.name for r in result.reduction_results] == [
+            "sum:even", "sum:odd",
+        ]
+        assert [r.value for r in result.reduction_results] == [60, 140]
+
+    def test_pool_reductions_run_in_parent(self):
+        tasks = [Job(f"mul[{i}]", operator.mul, (i, 7)) for i in range(4)]
+        reductions = [Reduction("pid", _reduction_pid, over=(0, 1, 2, 3))]
+        result = run_batch(tasks, jobs=2, reductions=reductions)
+        (reduced,) = result.reduction_results
+        assert reduced.value == os.getpid()
+
+    def test_pool_matches_serial(self):
+        tasks = [Job(f"mul[{i}]", operator.mul, (i, 3)) for i in range(6)]
+        reductions = [
+            Reduction("low", _sum_values, over=(0, 1, 2)),
+            Reduction("high", _sum_values, over=(3, 4, 5)),
+        ]
+        serial = run_batch(tasks, jobs=1, reductions=reductions)
+        pool = run_batch(tasks, jobs=2, reductions=reductions)
+        assert serial.values == pool.values
+        assert [r.value for r in serial.reduction_results] == [
+            r.value for r in pool.reduction_results
+        ]
+
+    def test_failed_input_skips_reduction_and_raises(self):
+        tasks = [
+            Job("ok", operator.mul, (3, 7)),
+            Job("boom", operator.truediv, (1, 0)),
+        ]
+        reductions = [Reduction("sum", _sum_values, over=(0, 1))]
+        with pytest.raises(JobError) as excinfo:
+            run_batch(tasks, jobs=1, reductions=reductions)
+        names = {f.name for f in excinfo.value.failures}
+        assert names == {"boom", "sum"}
+
+    def test_collect_mode_reports_reduction_failure(self):
+        tasks = [
+            Job("ok", operator.mul, (3, 7)),
+            Job("boom", operator.truediv, (1, 0)),
+        ]
+        reductions = [
+            Reduction("sum", _sum_values, over=(0, 1)),
+            Reduction("only-ok", _sum_values, over=(0,)),
+        ]
+        result = run_batch(
+            tasks, jobs=1, on_error="collect", reductions=reductions
+        )
+        assert result.values == (21,)
+        assert {f.name for f in result.failures} == {"boom", "sum"}
+        # Positional alignment survives the failure: the skipped
+        # reduction leaves a None slot, the healthy one still fired.
+        skipped, reduced = result.reduction_results
+        assert skipped is None
+        assert (reduced.name, reduced.value) == ("only-ok", 21)
+
+    def test_plan_validation(self):
+        tasks = [Job("only", operator.mul, (2, 2))]
+        with pytest.raises(EngineError, match="consumes no jobs"):
+            run_batch(tasks, reductions=[Reduction("r", _sum_values, over=())])
+        with pytest.raises(EngineError, match="lists a job twice"):
+            run_batch(
+                tasks, reductions=[Reduction("r", _sum_values, over=(0, 0))]
+            )
+        with pytest.raises(EngineError, match="job index"):
+            run_batch(
+                tasks, reductions=[Reduction("r", _sum_values, over=(5,))]
+            )
+
+    def test_reduction_stats_counted_not_double_absorbed(self, no_store):
+        """A reduction's cache delta lands in the batch stats exactly once
+        (it ran in the parent, whose live counters already saw it)."""
+        from repro.combinatorics.domination import domination_number
+        from repro.graphs.families import cycle
+
+        def _dominate(values):
+            return domination_number(cycle(5))
+
+        tasks = [Job("warm", domination_number, (cycle(5),))]
+        before = KERNEL_CACHE.stats()
+        result = run_batch(
+            tasks, jobs=1, reductions=[Reduction("red", _dominate, over=(0,))]
+        )
+        delta = KERNEL_CACHE.stats().delta_since(before)
+        by_kernel = dict(
+            (name, (h, m)) for name, h, m in result.stats.by_kernel
+        )
+        live = dict((name, (h, m)) for name, h, m in delta.by_kernel)
+        assert by_kernel["domination_number"] == live["domination_number"]
+
+
+class TestEstimatorAndPlan:
+    def test_estimate_is_two_to_missing_edges_capped(self):
+        reps = _representatives(3)
+        complete, empty = reps[0], reps[-1]
+        assert complete.proper_edge_count == 6
+        assert estimate_class_cost(complete, 3) == 1
+        assert empty.proper_edge_count == 0
+        assert estimate_class_cost(empty, 3) == 64
+        assert estimate_class_cost(empty, 3, budget=16) == 16
+
+    def test_default_threshold_splits_nothing_at_n3(self):
+        plan = plan_sweep(_representatives(3), 3)
+        assert plan.splits == 0
+        assert len(plan.tasks) == 16
+        assert plan.reductions == ()
+
+    def test_low_threshold_splits_everything(self):
+        reps = _representatives(3)
+        plan = plan_sweep(reps, 3, split_threshold=1)
+        assert plan.splits == 16
+        # bounds + one job per candidate k, per class
+        assert plan.subshards == 16 * 4
+        assert len(plan.tasks) == 64
+        assert len(plan.reductions) == 16
+        for cls in plan.classes:
+            assert cls.split
+            assert len(cls.job_indices) == 4
+            reduction = plan.reductions[cls.reduction_index]
+            assert reduction.over == cls.job_indices
+
+    def test_subshard_off_forces_monolithic(self):
+        plan = plan_sweep(
+            _representatives(3), 3, split_threshold=1, subshard=False
+        )
+        assert plan.splits == 0 and len(plan.tasks) == 16
+
+    def test_jobs_emitted_heaviest_first(self):
+        reps = _representatives(3)
+        plan = plan_sweep(reps, 3, split_threshold=1)
+        # The first emitted job belongs to the sparsest (heaviest) class,
+        # which sits *last* in the densest-first representative order.
+        heaviest = plan.classes[len(reps) - 1]
+        assert heaviest.estimate == max(c.estimate for c in plan.classes)
+        assert heaviest.job_indices[0] == 0
+        # Estimates are non-increasing along the emitted job order.
+        order = sorted(plan.classes, key=lambda c: c.job_indices[0])
+        estimates = [c.estimate for c in order]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_split_decision_threshold_boundary(self):
+        reps = _representatives(3)
+        empty = reps[-1]
+        at = plan_sweep([empty], 3, split_threshold=64)
+        above = plan_sweep([empty], 3, split_threshold=65)
+        assert at.splits == 1
+        assert above.splits == 0
+
+
+class TestSubshardEquivalence:
+    """Acceptance: split rows byte-identical to the monolithic reference."""
+
+    def test_split_serial_matches_monolithic_all_16(self, no_store):
+        mono = solvability_sweep(3, subshard=False)
+        KERNEL_CACHE.clear()
+        split = solvability_sweep(3, split_threshold=1)
+        assert split.rows == mono.rows
+        assert split.headers == mono.headers
+        assert repr(split.rows) == repr(mono.rows)  # byte-identical
+        assert split.splits == 16 and split.subshards == 64
+        assert mono.splits == 0
+
+    def test_split_pool_matches_serial(self, no_store):
+        serial = solvability_sweep(3, limit=6, split_threshold=1)
+        KERNEL_CACHE.clear()
+        pool = solvability_sweep(
+            3, limit=6, split_threshold=1, executor=PoolExecutor(2)
+        )
+        assert pool.rows == serial.rows
+
+    def test_split_dist_matches_serial(self, no_store):
+        serial = solvability_sweep(3, limit=6, split_threshold=1)
+        KERNEL_CACHE.clear()
+
+        def launch(address):
+            threading.Thread(
+                target=run_worker, args=address, daemon=True
+            ).start()
+
+        executor = DistExecutor(":0", on_bound=launch)
+        dist = solvability_sweep(
+            3, limit=6, split_threshold=1, executor=executor
+        )
+        assert dist.rows == serial.rows
+        metrics = dist.batch.dist_metrics
+        assert metrics is not None
+        # 6 classes x (bounds + k=1..3) sub-shards, all served remotely.
+        assert sum(w["completed"] for w in metrics["workers"]) >= 24
+
+    def test_k_at_least_n_shortcut_matches_the_csp(self, no_store):
+        """Pin the analytic k >= n answer against the real search on the
+        class where it matters most (the sparsest generator)."""
+        from repro.models.closed_above import symmetric_closed_above
+        from repro.verification.solvability import (
+            decide_one_round_solvability,
+        )
+
+        empty = _representatives(3)[-1]
+        model = symmetric_closed_above([empty])
+        full = sorted(model.iter_graphs(max_graphs=DEFAULT_BUDGET))
+        assert decide_one_round_solvability(full, 3).solvable is True
+        assert _subshard_solvable(empty, 3, DEFAULT_BUDGET, 3) is True
+
+    def test_subshard_flags_are_a_staircase(self, no_store):
+        """Solvability is monotone in k, which is what makes the per-k
+        merge exact: once solvable, solvable for every larger k."""
+        for g in _representatives(3)[:4] + _representatives(3)[-2:]:
+            flags = [
+                _subshard_solvable(g, 3, DEFAULT_BUDGET, k)
+                for k in range(1, 4)
+            ]
+            assert flags == sorted(flags), (g, flags)
+
+
+class TestSubshardStore:
+    def test_warm_split_rerun_resumes_everything(self, isolated_store):
+        cold = solvability_sweep(3, limit=4, split_threshold=1)
+        assert cold.resumed == 0
+        _fresh_process(isolated_store)
+        warm = solvability_sweep(3, limit=4, split_threshold=1)
+        assert warm.rows == cold.rows
+        assert repr(warm.rows) == repr(cold.rows)
+        assert warm.resumed == 4
+        by_kernel = {
+            name: (hits, misses)
+            for name, hits, misses, _w in warm.batch.store_stats.by_kernel
+        }
+        hits, misses = by_kernel["solvability_subshard"]
+        assert hits == 4 * 3 and misses == 0
+
+    def test_reduction_banks_the_monolithic_row(self, isolated_store):
+        """A split run leaves the store warm for a later *monolithic* run
+        (threshold raised, --subshard off): the reducer seeds the merged
+        verdict under solvability_shard's own identity."""
+        split = solvability_sweep(3, limit=4, split_threshold=1)
+        db = isolated_store.db_stats()
+        entries = {
+            row["kernel"]: row["entries"] for row in db["kernels"]
+        }
+        assert entries["solvability_shard"] == 4
+        _fresh_process(isolated_store)
+        mono = solvability_sweep(3, limit=4, subshard=False)
+        assert mono.rows == split.rows
+        assert mono.resumed == 4  # zero CSP searches ran
+
+    def test_monolithic_store_warms_split_sub_rows_only_partially(
+        self, isolated_store
+    ):
+        """The other direction: a monolithic run banks no sub-shard rows,
+        so a later split run recomputes per-k verdicts (correctly) —
+        pinning that the two decompositions keep separate identities
+        while producing identical rows."""
+        mono = solvability_sweep(3, limit=2, subshard=False)
+        _fresh_process(isolated_store)
+        split = solvability_sweep(3, limit=2, split_threshold=1)
+        assert split.rows == mono.rows
+
+    def test_mid_class_kill_banks_finished_subshards(self, isolated_store):
+        """Satellite acceptance: kill a sweep mid-class — some sub-shards
+        banked, the reduction never fired — and the rerun serves the
+        banked sub-verdicts from the store while recomputing only the
+        missing ones, landing on the uninterrupted run's exact row."""
+        reps = _representatives(3)
+        heavy = reps[-1]  # the sparsest class: the one worth splitting
+        index = len(reps) - 1
+
+        # The uninterrupted reference, on a separate store.
+        with store_pkg.RESULT_STORE.disabled():
+            KERNEL_CACHE.clear()
+            reference_row = sweep_row(heavy, 3, DEFAULT_BUDGET)
+        KERNEL_CACHE.clear()
+
+        # "Run" only part of the class, as a killed sweep would have:
+        # bounds and two of the three per-k sub-shards reach the store,
+        # the reduction does not fire, no solvability_shard row exists.
+        _class_bounds(heavy, 3)
+        _subshard_solvable(heavy, 3, DEFAULT_BUDGET, 1)
+        _subshard_solvable(heavy, 3, DEFAULT_BUDGET, 2)
+        _fresh_process(isolated_store)
+        db = store_pkg.active_store().db_stats()
+        entries = {row["kernel"]: row["entries"] for row in db["kernels"]}
+        assert entries.get("solvability_subshard") == 2
+        assert "solvability_shard" not in entries
+
+        # Rerun the full sweep with forced splitting: the banked
+        # sub-shards must hit the store; only k=3 is computed fresh.
+        report = solvability_sweep(3, split_threshold=1)
+        assert report.rows[index] == reference_row
+        by_kernel = {
+            name: (hits, misses)
+            for name, hits, misses, _w in report.batch.store_stats.by_kernel
+        }
+        sub_hits, _sub_misses = by_kernel["solvability_subshard"]
+        assert sub_hits >= 2
+        bounds_hits, _ = by_kernel["solvability_bounds"]
+        assert bounds_hits >= 1
+
+        # And now the class is fully banked: a fresh process resumes it.
+        _fresh_process(store_pkg.active_store())
+        rerun = solvability_sweep(3, split_threshold=1)
+        assert rerun.rows == report.rows
+        assert rerun.resumed == rerun.sharded == 16
+
+
+class TestSweepReportSurface:
+    def test_describe_mentions_splits(self, no_store):
+        report = solvability_sweep(3, limit=2, split_threshold=1)
+        text = report.describe()
+        assert "2 class(es) split into 8 sub-shards" in text
+        assert "threshold 1" in text
+
+    def test_class_reports_carry_estimates_and_timings(self, no_store):
+        report = solvability_sweep(3, limit=3, split_threshold=1)
+        assert len(report.classes) == 3
+        for cls in report.classes:
+            assert cls.split and cls.subshards == 4
+            assert cls.elapsed >= 0.0
+            assert cls.estimate >= 1
+            payload = cls.to_dict()
+            assert set(payload) == {
+                "index", "edges", "estimate", "split", "subshards",
+                "elapsed", "resumed",
+            }
+
+    def test_default_report_matches_pre_split_shape(self, no_store):
+        report = solvability_sweep(3, limit=2)
+        assert report.splits == 0 and report.subshards == 0
+        assert report.split_threshold == DEFAULT_SPLIT_THRESHOLD
+        assert "split" not in report.describe()
+
+    def test_shard_verdict_seed_noop_when_banked(self, no_store):
+        """Seeding an already-computed verdict keeps the banked value."""
+        g = _representatives(3)[0]
+        verdict = _shard_verdict(g, 3, DEFAULT_BUDGET)
+        assert _shard_verdict.seed(("x",), g, 3, DEFAULT_BUDGET) is False
+        assert _shard_verdict(g, 3, DEFAULT_BUDGET) == verdict
