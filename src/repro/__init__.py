@@ -16,7 +16,10 @@ The library provides, from scratch:
 * :mod:`repro.bounds` — every bound theorem of the paper as an executable
   function with provenance;
 * :mod:`repro.verification` — exhaustive algorithm verification and exact
-  one-round solvability search (the ground truth for the bounds);
+  one-round solvability search (the ground truth for the bounds), with
+  pluggable CSP compute backends (``REPRO_CSP_BACKEND``: the default
+  ``bitset`` bitmask search, the ``reference`` baseline, optional
+  ``sat`` via `python-sat`, and a ``check`` cross-check mode);
 * :mod:`repro.engine` — the shared compute layer: canonical graph keys and
   interning, the process-global :class:`~repro.engine.cache.KernelCache`
   that memoizes the hot kernels across call sites, and the
@@ -78,7 +81,7 @@ from .graphs import Digraph
 from .models import ClosedAboveModel, simple_closed_above, symmetric_closed_above
 from .verification import decide_one_round_solvability, verify_algorithm
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Digraph",

@@ -4,11 +4,13 @@ Usage::
 
     python -m repro bounds --family wheel --n 4 [--symmetric] [--rounds 2]
     python -m repro search --family cycle --n 4 --k 1 [--full]
+                           [--backend bitset|reference|sat|check]
     python -m repro verify --family cycle --n 4 --k 2 [--rounds 3]
     python -m repro experiments [E1 E6 ...] [--jobs 4 | --distributed :7071]
     python -m repro cache-stats [--n 5] [--passes 3] [--json]
     python -m repro sweep --n 4 [--jobs 4 | --distributed :7071] [--limit K]
                           [--split-threshold 2048] [--subshard on|off]
+                          [--backend bitset|reference|sat|check]
     python -m repro worker --connect HOST:7071 [--jobs 2] [--retry 30]
     python -m repro dist status HOST:7071 [--json]
     python -m repro store stats [--json]
@@ -20,6 +22,14 @@ Usage::
 ``--family`` names any zero/one-argument constructor from
 :mod:`repro.graphs.families` (star, cycle, wheel, path, out_tree,
 tournament, ...); ``union_of_stars`` additionally takes ``--centers``.
+
+Compute backends: the solvability CSP kernels run on a pluggable backend
+(``--backend`` on ``search`` and ``sweep``, or ``REPRO_CSP_BACKEND``):
+``bitset`` (the default under ``auto``), the ``reference`` pure-Python
+search, the optional ``sat`` CNF encoding (requires ``python-sat``), or
+``check`` which runs every available backend and asserts identical
+verdicts.  Results are backend-independent; store rows are not shared
+across backends (each backend persists under its own kernel version).
 
 Persistence: set ``REPRO_STORE=rw`` (and optionally
 ``REPRO_STORE_PATH=...``) to warm-start every command from a persistent
@@ -96,7 +106,7 @@ def cmd_search(args: argparse.Namespace) -> int:
     else:
         pool = generators
         scope = f"generators ({len(pool)} graphs)"
-    result = decide_one_round_solvability(pool, args.k)
+    result = decide_one_round_solvability(pool, args.k, backend=args.backend)
     print(f"[{scope}] {result.describe()}")
     if not args.full and result.solvable:
         print(
@@ -188,6 +198,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         executor=_executor_for(args),
         split_threshold=args.split_threshold,
         subshard=args.subshard != "off",
+        backend=args.backend,
     )
     if args.json:
         payload = {
@@ -197,6 +208,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "resumed": report.resumed,
             "split_threshold": report.split_threshold,
             "subshard": report.subshard,
+            "backend": report.backend,
             "splits": report.splits,
             "subshards": report.subshards,
             "classes": [cls.to_dict() for cls in report.classes],
@@ -420,6 +432,18 @@ def main(argv: list[str] | None = None) -> int:
             help="use the symmetric closure of the generator",
         )
 
+    def add_backend_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=("auto", "reference", "bitset", "sat", "check"),
+            default=None,
+            help="CSP compute backend (default: REPRO_CSP_BACKEND, else "
+            "auto = bitset).  'reference' is the original pure-Python "
+            "search, 'bitset' the bitmask re-encoding, 'sat' a CNF "
+            "encoding via python-sat (optional dependency), 'check' runs "
+            "every available backend and asserts identical verdicts",
+        )
+
     p_bounds = sub.add_parser("bounds", help="print the paper's bound report")
     add_model_args(p_bounds)
     p_bounds.add_argument("--rounds", type=int, default=1)
@@ -435,6 +459,7 @@ def main(argv: list[str] | None = None) -> int:
         help="search over the fully enumerated model (small n only)",
     )
     p_search.add_argument("--budget", type=int, default=1 << 12)
+    add_backend_arg(p_search)
     p_search.set_defaults(func=cmd_search)
 
     p_verify = sub.add_parser(
@@ -564,6 +589,7 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
+    add_backend_arg(p_sweep)
     add_distributed_arg(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 

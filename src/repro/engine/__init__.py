@@ -53,6 +53,7 @@ from .batch import (
 )
 from .cache import (
     KERNEL_CACHE,
+    KERNEL_VERSION_VARIANTS,
     KERNEL_VERSIONS,
     CacheStats,
     KernelCache,
@@ -71,6 +72,7 @@ from .canonical import (
 __all__ = [
     "KERNEL_CACHE",
     "KERNEL_VERSIONS",
+    "KERNEL_VERSION_VARIANTS",
     "CacheStats",
     "KernelCache",
     "cache_disabled",

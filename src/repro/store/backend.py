@@ -447,7 +447,15 @@ class ResultStore:
                             counters.hits += 1
                             self._touch(full_key)
                             return value
-            return self._remote_fallthrough(counters, full_key)
+            if self.remote_tier is None:
+                counters.misses += 1
+                return MISS
+        # Remote fallthrough runs *outside* the store lock: the round trip
+        # can block for the full network timeout against a stalled
+        # coordinator, and holding the RLock would freeze every other
+        # thread's store access (including loads that would hit locally)
+        # for the duration.
+        return self._remote_fallthrough(full_key)
 
     def _touch(self, full_key: tuple[str, str, str]) -> None:
         """Record a recency signal for prune (next flush applies it).
@@ -463,18 +471,22 @@ class ResultStore:
         if self.writable or self.worker_mode:
             self._touched[full_key] = time.time()
 
-    def _remote_fallthrough(
-        self, counters: _StoreCounters, full_key: tuple[str, str, str]
-    ) -> object:
+    def _remote_fallthrough(self, full_key: tuple[str, str, str]) -> object:
         """Last tier before computing: ask the remote store, if any.
 
         A returned row is checksum-verified and installed into the seed
         tier, so results banked mid-run by *other* workers are fetched at
-        most once per worker.  Any failure (no tier, miss, torn
-        connection, corrupt row) degrades to a plain miss — persistence
-        stays best-effort.
+        most once per worker.  Any failure (miss, torn connection,
+        corrupt row) degrades to a plain miss — persistence stays
+        best-effort.
+
+        Called *without* the store lock held — the network round trip
+        must not serialize the store — and re-takes it only to install
+        the row and book the counters.
         """
         tier = self.remote_tier
+        value = MISS
+        row = None
         if tier is not None:
             try:
                 row = tier.load(*full_key)
@@ -489,14 +501,16 @@ class ResultStore:
                     value = pickle.loads(row[3])
                 except Exception:
                     value = MISS
-                if value is not MISS:
-                    self._seed[full_key] = tuple(row)
-                    counters.hits += 1
-                    counters.remote_hits += 1
-                    self._touch(full_key)
-                    return value
-        counters.misses += 1
-        return MISS
+        with self._lock:
+            counters = self._counters.setdefault(full_key[0], _StoreCounters())
+            if value is MISS:
+                counters.misses += 1
+                return MISS
+            self._seed[full_key] = tuple(row)
+            counters.hits += 1
+            counters.remote_hits += 1
+            self._touch(full_key)
+            return value
 
     def save(self, kernel: str, version: str, key: object, value: object) -> None:
         """Queue a computed result for write-back (no-op unless ``rw``)."""
@@ -729,9 +743,10 @@ class ResultStore:
     ):
         """Yield chunks of raw rows for seeding a connecting worker.
 
-        ``versions`` maps kernel name to implementation version; only
-        matching rows ship.  ``None`` means "every kernel registered in
-        this process, at its current version" — so rows orphaned by an
+        ``versions`` maps kernel name to an implementation version (or a
+        tuple of versions, for kernels with live variants); only matching
+        rows ship.  ``None`` means "every kernel registered in this
+        process, at its current version(s)" — so rows orphaned by an
         edited kernel never travel.  Chunks are bounded by row count and
         payload bytes, and the database is locked per chunk only, so a
         huge store streams as many modest frames without stalling the
@@ -739,7 +754,11 @@ class ResultStore:
         """
         if versions is None:
             versions = _current_kernel_versions()
-        pairs = sorted(versions.items())
+        pairs = sorted(
+            (kernel, version)
+            for kernel, value in versions.items()
+            for version in ((value,) if isinstance(value, str) else tuple(value))
+        )
         if not pairs:
             return
         # The filter lives in the WHERE clause: a store full of
@@ -881,7 +900,7 @@ class ResultStore:
             stale = 0
             for kernel, version, count, value_bytes in rows:
                 known = current.get(kernel)
-                is_stale = known is not None and known != version
+                is_stale = known is not None and version not in known
                 if is_stale:
                     stale += count
                 info["kernels"].append(
@@ -903,9 +922,11 @@ class ResultStore:
     def vacuum(self) -> dict:
         """Garbage-collect stale kernel versions, then ``VACUUM``.
 
-        A row is stale when its kernel is registered in this process under
-        a *different* version; rows of unknown kernels are kept (another
-        tool or an older checkout may still want them).
+        A row is stale when its kernel is registered in this process and
+        the row's version matches *none* of the kernel's live versions
+        (kernels with implementation variants have one live version per
+        variant); rows of unknown kernels are kept (another tool or an
+        older checkout may still want them).
         """
         if not self.writable:
             raise StoreError("vacuum needs a writable (rw) store")
@@ -915,10 +936,12 @@ class ResultStore:
             if conn is None:
                 raise StoreError(f"store file {self.path} is unreadable")
             deleted = 0
-            for kernel, version in _current_kernel_versions().items():
+            for kernel, versions in _current_kernel_versions().items():
+                placeholders = ", ".join("?" * len(versions))
                 cursor = conn.execute(
-                    "DELETE FROM results WHERE kernel = ? AND version != ?",
-                    (kernel, version),
+                    "DELETE FROM results WHERE kernel = ? "
+                    f"AND version NOT IN ({placeholders})",
+                    (kernel, *versions),
                 )
                 deleted += cursor.rowcount
             conn.commit()
@@ -1098,13 +1121,18 @@ class ResultStore:
             }
 
 
-def _current_kernel_versions() -> dict[str, str]:
-    """The versions of every kernel registered in this process.
+def _current_kernel_versions() -> dict[str, tuple[str, ...]]:
+    """Every live store version of every kernel registered in this process.
+
+    Most kernels map to a 1-tuple of their pinned version; kernels with
+    declared implementation variants (the CSP compute backends) map to
+    one ``"{version}+{suffix}"`` entry per variant — all of them count as
+    current, so vacuum/staleness never discards another backend's rows.
 
     Imported lazily: the store package must stay importable without the
     engine (and vice versa — the engine imports *us* lazily on the miss
     path).
     """
-    from ..engine.cache import KERNEL_VERSIONS
+    from ..engine.cache import KERNEL_VERSION_VARIANTS
 
-    return dict(KERNEL_VERSIONS)
+    return dict(KERNEL_VERSION_VARIANTS)

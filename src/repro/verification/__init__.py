@@ -2,6 +2,7 @@
 searches, and counterexample certificates."""
 
 from .adversarial import WorstCase, achieved_k, worst_case_decisions
+from .backends import available_backends, resolve_backend, sat_available
 from .certificates import find_violation, tightness_certificate
 from .colored import decide_one_round_solvability_colored
 from .exhaustive import VerificationReport, exhaustive_inputs, verify_algorithm
@@ -21,6 +22,9 @@ __all__ = [
     "WorstCase",
     "achieved_k",
     "worst_case_decisions",
+    "available_backends",
+    "resolve_backend",
+    "sat_available",
     "decide_one_round_solvability_colored",
     "find_violation",
     "tightness_certificate",

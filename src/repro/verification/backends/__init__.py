@@ -1,0 +1,197 @@
+"""Pluggable compute backends for the solvability CSP kernels.
+
+Every solvability search in :mod:`repro.verification` (one-round,
+multi-round, colored) bottoms out in the same abstract problem: given
+execution rows over view indices and a per-view domain of candidate
+values, is there an assignment in which every execution decides at most
+``k`` distinct values?  This package isolates that question behind one
+interface so the hot kernel can be swapped without touching the
+search-construction layers above it:
+
+``reference``
+    The original pure-Python search over ``set`` objects, kept verbatim
+    as the semantics oracle every other backend is cross-checked against.
+``bitset``
+    The same search re-encoded over integer bitmasks — domains, decided
+    sets and the prune trail are plain ints, so propagation is bitwise
+    AND/OR and fail-first selection is a popcount.  Same traversal order
+    as ``reference``, an order of magnitude less interpreter work.
+``sat``
+    A CNF encoding (selector var per (view, value), sequential-counter
+    cardinality per execution) handed to `python-sat` when importable.
+    Useful on instances whose backtracking tree blows up; optional
+    because the dependency is not in the runtime requirements.
+
+Backend contract: ``solve(executions, domains, k)`` where ``executions``
+are deduplicated tuples of view indices and ``domains`` are sorted tuples
+of *small value indices* (the caller maps real values to ints and back).
+Returns ``(solvable, assignment, reduced_count)`` with ``assignment`` a
+per-view value index (or None) and ``reduced_count`` the number of
+execution rows left after subsumption reduction — each backend owns that
+reduction because it dominates build cost on the heaviest classes.
+
+Selection: the ``backend=`` parameter threaded through the public search
+functions, else the ``REPRO_CSP_BACKEND`` environment variable, else
+``auto`` (currently the bitset backend).  The pseudo-backend ``check``
+runs every available backend and asserts identical verdicts — the tests
+and CI smoke jobs use it to keep the implementations pinned together.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+from ...errors import VerificationError
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CSP_BACKEND_VARIANTS",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "available_backends",
+    "resolve_backend",
+    "sat_available",
+    "solve_csp",
+    "witness_ok",
+]
+
+#: Environment variable consulted when no explicit ``backend=`` is given.
+ENV_VAR = "REPRO_CSP_BACKEND"
+
+#: Concrete single-implementation backends.
+BACKEND_NAMES = ("reference", "bitset", "sat")
+
+#: What ``auto`` resolves to.  The bitset backend is the default because
+#: it is exhaustively cross-checked against ``reference`` and strictly
+#: faster; ``sat`` stays opt-in so cluster runs never depend on whether a
+#: worker happens to have `python-sat` installed.
+DEFAULT_BACKEND = "bitset"
+
+#: Every version suffix a CSP kernel can run under — the store registers
+#: all of them as live so ``store vacuum`` keeps rows of every backend.
+CSP_BACKEND_VARIANTS = BACKEND_NAMES + ("check",)
+
+_SAT_AVAILABLE: bool | None = None
+
+
+def sat_available() -> bool:
+    """True when `python-sat` is importable (checked once per process)."""
+    global _SAT_AVAILABLE
+    if _SAT_AVAILABLE is None:
+        try:
+            from pysat.solvers import Solver  # noqa: F401
+        except ImportError:
+            _SAT_AVAILABLE = False
+        else:
+            _SAT_AVAILABLE = True
+    return _SAT_AVAILABLE
+
+
+def available_backends() -> tuple[str, ...]:
+    """The concrete backends usable in this process."""
+    names = ("reference", "bitset")
+    return names + ("sat",) if sat_available() else names
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a backend request to a concrete name (or ``check``).
+
+    ``None`` or ``""`` falls back to :data:`ENV_VAR`, then to ``auto``.
+    Raises :class:`VerificationError` for unknown names and for ``sat``
+    when `python-sat` is not importable.
+    """
+    raw = name if name else os.environ.get(ENV_VAR, "")
+    raw = str(raw).strip().lower() or "auto"
+    if raw == "auto":
+        return DEFAULT_BACKEND
+    if raw == "check":
+        return "check"
+    if raw not in BACKEND_NAMES:
+        choices = ", ".join(("auto", "check") + BACKEND_NAMES)
+        raise VerificationError(
+            f"unknown CSP backend {raw!r} (choose from: {choices})"
+        )
+    if raw == "sat" and not sat_available():
+        raise VerificationError(
+            "CSP backend 'sat' requires python-sat "
+            "(pip install python-sat); use backend='bitset' or "
+            "'reference' instead"
+        )
+    return raw
+
+
+def _solver(name: str):
+    if name == "reference":
+        from . import reference
+
+        return reference.solve
+    if name == "bitset":
+        from . import bitset
+
+        return bitset.solve
+    if name == "sat":
+        from . import sat
+
+        return sat.solve
+    raise VerificationError(f"no solver for backend {name!r}")
+
+
+def witness_ok(
+    executions: Sequence[tuple[int, ...]],
+    domains: Sequence[tuple[int, ...]],
+    assignment: Sequence[int | None],
+    k: int,
+) -> bool:
+    """Validate a witness against the *unreduced* constraint rows.
+
+    Every view must be assigned a value from its own domain (validity)
+    and every execution must decide at most ``k`` distinct values.
+    """
+    for idx, domain in enumerate(domains):
+        if assignment[idx] is None or assignment[idx] not in domain:
+            return False
+    for row in executions:
+        if len({assignment[idx] for idx in row}) > k:
+            return False
+    return True
+
+
+def solve_csp(
+    executions: list[tuple[int, ...]],
+    domains: list[tuple[int, ...]],
+    k: int,
+    backend: str | None = None,
+) -> tuple[bool, list[int | None], int]:
+    """Dispatch the abstract CSP to the resolved backend.
+
+    With ``backend='check'`` every available backend is run and their
+    verdicts (solvable, reduced row count) must agree, each SAT witness
+    must validate — the reference answer is returned.
+    """
+    name = resolve_backend(backend)
+    if name != "check":
+        return _solver(name)(executions, domains, k)
+
+    results = {
+        candidate: _solver(candidate)(executions, domains, k)
+        for candidate in available_backends()
+    }
+    reference = results["reference"]
+    for candidate, (solvable, assignment, reduced) in results.items():
+        if solvable != reference[0]:
+            raise VerificationError(
+                f"backend cross-check failed: {candidate} says "
+                f"solvable={solvable}, reference says {reference[0]}"
+            )
+        if reduced != reference[2]:
+            raise VerificationError(
+                f"backend cross-check failed: {candidate} kept {reduced} "
+                f"executions after reduction, reference kept {reference[2]}"
+            )
+        if solvable and not witness_ok(executions, domains, assignment, k):
+            raise VerificationError(
+                f"backend cross-check failed: {candidate} produced an "
+                f"invalid witness for k={k}"
+            )
+    return reference

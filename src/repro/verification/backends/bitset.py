@@ -1,0 +1,152 @@
+"""Bitmask re-encoding of the reference CSP search.
+
+Values are small ints, so every set the reference backend manipulates
+becomes a plain Python integer treated as a bitmask (:mod:`repro._bitops`
+conventions): each view's live domain, each execution's decided-value
+set, and the prune trail are ints; propagation is ``&``/``|``; fail-first
+selection is a popcount; undo restores a saved mask in one assignment.
+The traversal order is identical to the reference backend — ascending
+value index at every node, same fail-first tie-breaking — so the two
+produce the *same witness*, not merely the same verdict.
+
+The subsumption reduction is bitmask-native too, and that matters more
+than the backtracker: on the heaviest enumerable classes the quadratic
+``frozenset`` containment scan dominates the reference backend's time.
+Here rows are masks grouped by popcount (a row can only be strictly
+contained in a strictly larger one), and containment is one integer
+comparison ``small | big == big``.
+"""
+
+from __future__ import annotations
+
+from ..._bitops import mask_of
+
+__all__ = ["reduce_executions", "solve"]
+
+
+def reduce_executions(
+    executions: list[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """Drop rows strictly contained in another row; keep original order.
+
+    The caller has already deduplicated, so containment plus unequal size
+    is strict containment.  Scanning in decreasing-popcount order means a
+    row only needs testing against kept rows of strictly larger popcount
+    (the ``barrier`` prefix) — equal-size distinct masks never contain
+    each other.
+    """
+    masks = [mask_of(row) for row in executions]
+    order = sorted(
+        range(len(masks)), key=lambda i: masks[i].bit_count(), reverse=True
+    )
+    kept: list[int] = []
+    kept_masks: list[int] = []
+    barrier = 0
+    current_size = -1
+    for i in order:
+        m = masks[i]
+        size = m.bit_count()
+        if size != current_size:
+            barrier = len(kept_masks)
+            current_size = size
+        for j in range(barrier):
+            big = kept_masks[j]
+            if m | big == big:
+                break
+        else:
+            kept.append(i)
+            kept_masks.append(m)
+    kept.sort()
+    return [executions[i] for i in kept]
+
+
+def solve(
+    executions: list[tuple[int, ...]],
+    domains: list[tuple[int, ...]],
+    k: int,
+) -> tuple[bool, list[int | None], int]:
+    """Mask-native subsumption reduction + forward-checking backtracker."""
+    executions = reduce_executions(executions)
+    nviews = len(domains)
+    occurs: list[list[int]] = [[] for _ in range(nviews)]
+    for e, exec_views in enumerate(executions):
+        for idx in exec_views:
+            occurs[idx].append(e)
+
+    # Per-view live domains and per-execution decided sets as masks.
+    dom: list[int] = [mask_of(d) for d in domains]
+    dec_mask: list[int] = [0] * len(executions)
+    dec_count: list[int] = [0] * len(executions)
+    assignment: list[int] = [-1] * nviews
+    # Prune trail of (view, previous domain mask) whole-mask snapshots,
+    # restored LIFO on undo — cheaper than per-value bookkeeping.
+    trail: list[tuple[int, int]] = []
+    occ_len = [len(o) for o in occurs]
+
+    def backtrack() -> bool:
+        # Fail-first: smallest live domain, ties to the most-occurring
+        # view — numerically identical to the reference pick_variable.
+        best = -1
+        best_size = 0
+        best_occ = 0
+        for idx in range(nviews):
+            if assignment[idx] >= 0:
+                continue
+            size = dom[idx].bit_count()
+            occ = occ_len[idx]
+            if best < 0 or size < best_size or (
+                size == best_size and occ > best_occ
+            ):
+                best = idx
+                best_size = size
+                best_occ = occ
+        if best < 0:
+            return True
+        idx = best
+        rest = dom[idx]
+        while rest:
+            vbit = rest & -rest
+            rest ^= vbit
+            # --- assign(idx, vbit) ---
+            mark = len(trail)
+            touched: list[int] = []
+            assignment[idx] = vbit.bit_length() - 1
+            ok = True
+            for e in occurs[idx]:
+                if dec_mask[e] & vbit:
+                    continue
+                dec_mask[e] |= vbit
+                dec_count[e] += 1
+                touched.append(e)
+                if dec_count[e] == k:
+                    allowed = dec_mask[e]
+                    for other in executions[e]:
+                        if assignment[other] < 0:
+                            narrowed = dom[other] & allowed
+                            if narrowed != dom[other]:
+                                trail.append((other, dom[other]))
+                                dom[other] = narrowed
+                                if not narrowed:
+                                    ok = False
+                                    break
+                elif dec_count[e] > k:  # pragma: no cover - pruned earlier
+                    ok = False
+                if not ok:
+                    break
+            if ok and backtrack():
+                return True
+            # --- undo ---
+            assignment[idx] = -1
+            while len(trail) > mark:
+                view, previous = trail.pop()
+                dom[view] = previous
+            for e in touched:
+                dec_mask[e] ^= vbit
+                dec_count[e] -= 1
+        return False
+
+    solvable = backtrack()
+    decoded: list[int | None] = [
+        value if value >= 0 else None for value in assignment
+    ]
+    return solvable, decoded, len(executions)

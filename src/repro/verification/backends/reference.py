@@ -1,0 +1,116 @@
+"""The original pure-Python CSP search, kept as the semantics oracle.
+
+This is the PR-1 backtracker from ``verification/solvability.py`` moved
+behind the backend interface, byte-for-byte in its search behaviour with
+one deliberate exception: values are now small ints, so the value order
+at each node is plain ascending order instead of ``sorted(..., key=repr)``
+(same order for the default ``0..k`` values, no string formatting per
+node; the kernel version was bumped because witness tie-breaking can
+change for exotic value sets).
+
+Every other backend is cross-checked against this one — keep it simple
+and obviously correct rather than fast.
+"""
+
+from __future__ import annotations
+
+__all__ = ["solve"]
+
+
+def solve(
+    executions: list[tuple[int, ...]],
+    domains: list[tuple[int, ...]],
+    k: int,
+) -> tuple[bool, list[int | None], int]:
+    """Subsumption-reduce the rows, then backtrack with forward checking."""
+    exec_sets = [frozenset(e) for e in executions]
+    keep = []
+    for i, es in enumerate(exec_sets):
+        if not any(i != j and es < other for j, other in enumerate(exec_sets)):
+            keep.append(executions[i])
+    executions = keep
+    occurs: list[list[int]] = [[] for _ in domains]
+    for e, exec_views in enumerate(executions):
+        for idx in exec_views:
+            occurs[idx].append(e)
+    solvable, assignment = _backtrack_decision_map(
+        executions, occurs, domains, k
+    )
+    return solvable, assignment, len(executions)
+
+
+def _backtrack_decision_map(
+    executions: list[tuple[int, ...]],
+    occurs: list[list[int]],
+    base_domains: list[tuple[int, ...]],
+    k: int,
+) -> tuple[bool, list[int | None]]:
+    """Forward-checking backtracker; returns (solvable, assignment)."""
+    nviews = len(base_domains)
+    domains: list[set[int]] = [set(d) for d in base_domains]
+    assignment: list[int | None] = [None] * nviews
+    decided: list[set[int]] = [set() for _ in executions]
+    trail: list[tuple[int, int]] = []
+
+    def prune(view: int, value: int) -> bool:
+        domains[view].discard(value)
+        trail.append((view, value))
+        return bool(domains[view])
+
+    def assign(idx: int, value: int) -> tuple[bool, int, list[int]]:
+        mark = len(trail)
+        touched = []
+        assignment[idx] = value
+        ok = True
+        for e in occurs[idx]:
+            dec = decided[e]
+            if value not in dec:
+                dec.add(value)
+                touched.append(e)
+                if len(dec) == k:
+                    for other in executions[e]:
+                        if assignment[other] is None:
+                            for bad in [x for x in domains[other] if x not in dec]:
+                                if not prune(other, bad):
+                                    ok = False
+                                    break
+                        if not ok:
+                            break
+                elif len(dec) > k:  # pragma: no cover - pruned earlier
+                    ok = False
+            if not ok:
+                break
+        return ok, mark, touched
+
+    def undo(idx: int, mark: int, touched: list[int], value: int) -> None:
+        assignment[idx] = None
+        while len(trail) > mark:
+            view, removed = trail.pop()
+            domains[view].add(removed)
+        for e in touched:
+            decided[e].discard(value)
+
+    def pick_variable() -> int | None:
+        best = None
+        best_key = None
+        for idx in range(nviews):
+            if assignment[idx] is not None:
+                continue
+            key = (len(domains[idx]), -len(occurs[idx]))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = idx
+        return best
+
+    def backtrack() -> bool:
+        idx = pick_variable()
+        if idx is None:
+            return True
+        for value in sorted(domains[idx]):
+            ok, mark, touched = assign(idx, value)
+            if ok and backtrack():
+                return True
+            undo(idx, mark, touched, value)
+        return False
+
+    return backtrack(), assignment

@@ -31,6 +31,7 @@ def decide_one_round_solvability_colored(
     graphs: Sequence[Digraph],
     k: int,
     values: Sequence[Hashable] | None = None,
+    backend: str | None = None,
 ) -> SolvabilityResult:
     """Is there a *colored* one-round decision map for k-set agreement?
 
@@ -38,6 +39,8 @@ def decide_one_round_solvability_colored(
     variable to the values present in the view (the adversary argument is
     identity-independent).  Same soundness caveats as the oblivious search:
     UNSAT on a subset of a model is sound, SAT needs the full model.
+    ``backend`` selects the CSP compute backend
+    (:mod:`repro.verification.backends`).
     """
     graphs = tuple(graphs)
     if not graphs:
@@ -68,4 +71,4 @@ def decide_one_round_solvability_colored(
                     domains.append(tuple(sorted({v for _, v in view})))
                 exec_vars.add(index[key])
             executions.append(tuple(sorted(exec_vars)))
-    return _solve_csp(index, executions, k, domains=domains)
+    return _solve_csp(index, executions, k, domains=domains, backend=backend)

@@ -22,6 +22,12 @@ has ``k`` distinct decided values, the domains of its still-undecided views
 are restricted to those values; an emptied domain backtracks immediately.
 Variables are chosen fail-first (smallest live domain, then most
 constrained).
+
+The search itself runs on one of the pluggable compute backends in
+:mod:`repro.verification.backends` (``reference``, ``bitset``, ``sat``),
+selected by the ``backend=`` parameter or ``REPRO_CSP_BACKEND``; this
+module builds the abstract CSP (views, executions, value indexing) and
+decodes the backend's integer assignment back into a decision map.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from ..engine.cache import cached_kernel
 from ..engine.canonical import graph_set_key
 from ..errors import VerificationError
 from ..graphs.digraph import Digraph
+from .backends import CSP_BACKEND_VARIANTS, resolve_backend, solve_csp
 
 __all__ = ["SolvabilitySearch", "decide_one_round_solvability", "SolvabilityResult"]
 
@@ -65,125 +72,55 @@ def _solve_csp(
     k: int,
     rounds: int = 1,
     domains: list[tuple] | None = None,
+    backend: str | None = None,
 ) -> SolvabilityResult:
     """Shared CSP core: views, per-execution ≤k-distinct constraints.
 
-    Deduplicates and subsumption-reduces the execution rows, restricts each
-    view's domain to the values it contains (validity) unless explicit
-    ``domains`` are given (the colored search keys variables by
-    ``(process, view)`` and supplies domains itself), then backtracks with
-    forward checking.  Used by the one-round, multi-round and colored
-    searches.
+    Deduplicates the execution rows, restricts each view's domain to the
+    values it contains (validity) unless explicit ``domains`` are given
+    (the colored search keys variables by ``(process, view)`` and
+    supplies domains itself), maps values to small ints, and hands the
+    abstract CSP to the selected compute backend (which owns the
+    subsumption reduction and the search).  Used by the one-round,
+    multi-round and colored searches.
     """
     executions = list(dict.fromkeys(executions))
-    exec_sets = [frozenset(e) for e in executions]
-    keep = []
-    for i, es in enumerate(exec_sets):
-        if not any(i != j and es < other for j, other in enumerate(exec_sets)):
-            keep.append(executions[i])
-    executions = keep
     views: list[ObliviousView | None] = [None] * len(view_index)
     for view, idx in view_index.items():
         views[idx] = view
-    occurs: list[list[int]] = [[] for _ in views]
-    for e, exec_views in enumerate(executions):
-        for idx in exec_views:
-            occurs[idx].append(e)
     if domains is None:
         base_domains = [tuple(sorted({v for _, v in view})) for view in views]
     else:
         base_domains = domains
-    solvable, assignment = _backtrack_decision_map(
-        executions, occurs, base_domains, k
+    # Index values by first appearance across the domains in view order —
+    # deterministic without per-node string formatting, and independent of
+    # whether the values themselves are sortable.
+    value_index: dict[Hashable, int] = {}
+    for domain in base_domains:
+        for value in domain:
+            if value not in value_index:
+                value_index[value] = len(value_index)
+    values_by_index = list(value_index)
+    int_domains = [
+        tuple(sorted(value_index[v] for v in domain)) for domain in base_domains
+    ]
+    solvable, assignment, reduced_count = solve_csp(
+        executions, int_domains, k, backend=backend
     )
     decision_map = None
     if solvable:
-        decision_map = {view: assignment[idx] for idx, view in enumerate(views)}
+        decision_map = {
+            view: values_by_index[assignment[idx]]
+            for idx, view in enumerate(views)
+        }
     return SolvabilityResult(
         solvable=solvable,
         k=k,
         view_count=len(views),
-        execution_count=len(executions),
+        execution_count=reduced_count,
         decision_map=decision_map,
         rounds=rounds,
     )
-
-
-def _backtrack_decision_map(
-    executions: list[tuple[int, ...]],
-    occurs: list[list[int]],
-    base_domains: list[tuple],
-    k: int,
-) -> tuple[bool, list]:
-    """Forward-checking backtracker; returns (solvable, assignment)."""
-    nviews = len(base_domains)
-    domains: list[set] = [set(d) for d in base_domains]
-    assignment: list = [None] * nviews
-    decided: list[set] = [set() for _ in executions]
-    trail: list[tuple[int, Hashable]] = []
-
-    def prune(view: int, value) -> bool:
-        domains[view].discard(value)
-        trail.append((view, value))
-        return bool(domains[view])
-
-    def assign(idx: int, value) -> tuple[bool, int, list[int]]:
-        mark = len(trail)
-        touched = []
-        assignment[idx] = value
-        ok = True
-        for e in occurs[idx]:
-            dec = decided[e]
-            if value not in dec:
-                dec.add(value)
-                touched.append(e)
-                if len(dec) == k:
-                    for other in executions[e]:
-                        if assignment[other] is None:
-                            for bad in [x for x in domains[other] if x not in dec]:
-                                if not prune(other, bad):
-                                    ok = False
-                                    break
-                        if not ok:
-                            break
-                elif len(dec) > k:  # pragma: no cover - pruned earlier
-                    ok = False
-            if not ok:
-                break
-        return ok, mark, touched
-
-    def undo(idx: int, mark: int, touched: list[int], value) -> None:
-        assignment[idx] = None
-        while len(trail) > mark:
-            view, removed = trail.pop()
-            domains[view].add(removed)
-        for e in touched:
-            decided[e].discard(value)
-
-    def pick_variable() -> int | None:
-        best = None
-        best_key = None
-        for idx in range(nviews):
-            if assignment[idx] is not None:
-                continue
-            key = (len(domains[idx]), -len(occurs[idx]))
-            if best_key is None or key < best_key:
-                best_key = key
-                best = idx
-        return best
-
-    def backtrack() -> bool:
-        idx = pick_variable()
-        if idx is None:
-            return True
-        for value in sorted(domains[idx], key=repr):
-            ok, mark, touched = assign(idx, value)
-            if ok and backtrack():
-                return True
-            undo(idx, mark, touched, value)
-        return False
-
-    return backtrack(), assignment
 
 
 class SolvabilitySearch:
@@ -234,15 +171,18 @@ class SolvabilitySearch:
         self._raw_executions = executions
 
     # ------------------------------------------------------------------
-    def solve(self) -> SolvabilityResult:
+    def solve(self, backend: str | None = None) -> SolvabilityResult:
         """Run the search; see the module docstring for the strategy."""
-        return _solve_csp(self._view_index, self._raw_executions, self._k)
+        return _solve_csp(
+            self._view_index, self._raw_executions, self._k, backend=backend
+        )
 
 
 def decide_one_round_solvability(
     graphs: Sequence[Digraph],
     k: int,
     values: Sequence[Hashable] | None = None,
+    backend: str | None = None,
 ) -> SolvabilityResult:
     """Decide one-round oblivious solvability of ``k``-set agreement.
 
@@ -250,6 +190,12 @@ def decide_one_round_solvability(
     to witness impossibility: a violation needs ``k + 1`` distinct decided
     values.  A SAT answer over ``graphs`` that are the *complete* model is
     a genuine algorithm; over a subset it only means "not disproved here".
+
+    ``backend`` selects the compute backend
+    (:mod:`repro.verification.backends`); every backend returns the same
+    verdict, but memoization is backend-scoped: the kernel version carries
+    the resolved backend name as a suffix so the store never replays one
+    backend's rows as another's.
 
     Results are memoized per *graph set* (order- and duplicate-insensitive)
     in the kernel cache, and — when the persistent store
@@ -264,15 +210,22 @@ def decide_one_round_solvability(
     """
     if values is None:
         values = tuple(range(k + 1))
-    return _decide_one_round_solvability(tuple(graphs), k, tuple(values))
+    return _decide_one_round_solvability(
+        tuple(graphs), k, tuple(values), backend=backend
+    )
 
 
 @cached_kernel(
     name="one_round_solvability",
-    key=lambda graphs, k, values: (graph_set_key(graphs), k, values),
-    version="1",
+    key=lambda graphs, k, values, backend=None: (graph_set_key(graphs), k, values),
+    version="2",
+    variant=lambda graphs, k, values, backend=None: resolve_backend(backend),
+    variants=CSP_BACKEND_VARIANTS,
 )
 def _decide_one_round_solvability(
-    graphs: tuple[Digraph, ...], k: int, values: tuple[Hashable, ...]
+    graphs: tuple[Digraph, ...],
+    k: int,
+    values: tuple[Hashable, ...],
+    backend: str | None = None,
 ) -> SolvabilityResult:
-    return SolvabilitySearch(graphs, k, values).solve()
+    return SolvabilitySearch(graphs, k, values).solve(backend=backend)

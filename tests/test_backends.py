@@ -1,0 +1,322 @@
+"""Cross-check suite for the pluggable CSP compute backends.
+
+The contract of the backends PR: every backend — ``reference`` (the
+original search), ``bitset`` (the bitmask re-encoding) and ``sat`` (the
+CNF encoding, when `python-sat` is installed) — returns the same verdict
+with a valid witness on the same instance, and no two backends ever
+share memoized rows in either cache tier.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+from itertools import product
+
+import pytest
+
+import repro.store as store_pkg
+from repro.engine import KERNEL_CACHE, KERNEL_VERSION_VARIANTS
+from repro.errors import VerificationError
+from repro.graphs import Digraph, cycle, star
+from repro.verification import (
+    SolvabilitySearch,
+    decide_one_round_solvability,
+    resolve_backend,
+    sat_available,
+)
+from repro.verification.backends import (
+    CSP_BACKEND_VARIANTS,
+    available_backends,
+    witness_ok,
+)
+from repro.verification.backends.bitset import reduce_executions
+
+needs_sat = pytest.mark.skipif(
+    not sat_available(), reason="python-sat not installed"
+)
+
+
+# ----------------------------------------------------------------------
+# Random instance generation
+# ----------------------------------------------------------------------
+
+def _random_instance(rng: random.Random):
+    """A random (graphs, k, values) solvability instance, small enough
+    that ~100 of them cross-check in seconds."""
+    n = rng.choice((2, 3))
+    graph_count = rng.randint(1, 4)
+    graphs = []
+    for _ in range(graph_count):
+        rows = tuple(
+            rng.randrange(1 << n) | (1 << p) for p in range(n)
+        )
+        graphs.append(Digraph(n, rows))
+    k = rng.randint(1, n)
+    if rng.random() < 0.3:
+        # Non-integer values exercise the value-indexing layer.
+        alphabet = ("a", "b", "c", "d", "e")
+        values = alphabet[: rng.randint(2, k + 2)]
+    else:
+        values = tuple(range(rng.randint(2, k + 2)))
+    return graphs, k, values
+
+
+def _assert_valid_witness(graphs, k, values, result):
+    """Replay the full model against the witness decision map."""
+    assert result.solvable and result.decision_map is not None
+    dm = result.decision_map
+    for g in graphs:
+        n = g.n
+        in_neighbors = [g.in_neighbors(p) for p in range(n)]
+        for assignment in product(values, repeat=n):
+            decided = set()
+            for p in range(n):
+                view = frozenset(
+                    (q, assignment[q]) for q in in_neighbors[p]
+                )
+                value = dm[view]
+                assert value in {v for _, v in view}, "validity violated"
+                decided.add(value)
+            assert len(decided) <= k, "agreement violated"
+
+
+def _solve(graphs, k, values, backend):
+    # SolvabilitySearch.solve bypasses the kernel cache: every call here
+    # really runs the named backend.
+    return SolvabilitySearch(graphs, k, values).solve(backend=backend)
+
+
+# ----------------------------------------------------------------------
+# Randomized cross-checks
+# ----------------------------------------------------------------------
+
+class TestBitsetMatchesReference:
+    def test_randomized_verdicts_and_witnesses(self):
+        rng = random.Random(0xC5B)
+        sat_count = 0
+        for _ in range(100):
+            graphs, k, values = _random_instance(rng)
+            ref = _solve(graphs, k, values, "reference")
+            bit = _solve(graphs, k, values, "bitset")
+            assert bit.solvable == ref.solvable
+            assert bit.view_count == ref.view_count
+            assert bit.execution_count == ref.execution_count
+            if ref.solvable:
+                sat_count += 1
+                _assert_valid_witness(graphs, k, values, ref)
+                _assert_valid_witness(graphs, k, values, bit)
+        # The generator must exercise both verdicts or the test is weak.
+        assert 10 <= sat_count <= 90
+
+    def test_identical_witnesses(self):
+        # The bitset backend mirrors the reference traversal (same
+        # fail-first tie-breaking, same ascending value order), so it
+        # finds the *same* witness, not merely an equivalent one.  A
+        # deliberate traversal change may relax this test — the verdict
+        # cross-check above is the hard contract.
+        rng = random.Random(7)
+        for _ in range(25):
+            graphs, k, values = _random_instance(rng)
+            ref = _solve(graphs, k, values, "reference")
+            bit = _solve(graphs, k, values, "bitset")
+            assert ref == bit
+
+    def test_check_backend_runs_clean(self):
+        for k in (1, 2):
+            result = _solve([cycle(3), star(3, 0)], k, (0, 1, 2), "check")
+            reference = _solve([cycle(3), star(3, 0)], k, (0, 1, 2), "reference")
+            assert result == reference
+
+
+@needs_sat
+class TestSatMatchesBitset:
+    def test_randomized_verdicts(self):
+        rng = random.Random(0x5A7)
+        for _ in range(30):
+            graphs, k, values = _random_instance(rng)
+            bit = _solve(graphs, k, values, "bitset")
+            sat = _solve(graphs, k, values, "sat")
+            assert sat.solvable == bit.solvable
+            assert sat.execution_count == bit.execution_count
+            if sat.solvable:
+                _assert_valid_witness(graphs, k, values, sat)
+
+    def test_sat_in_available_backends(self):
+        assert available_backends() == ("reference", "bitset", "sat")
+
+
+# ----------------------------------------------------------------------
+# The mask-native subsumption reduction
+# ----------------------------------------------------------------------
+
+class TestReduceExecutions:
+    def test_drops_strict_subsets_keeps_order(self):
+        rows = [(0, 1), (0, 1, 2), (3,), (2, 3), (0, 3)]
+        assert reduce_executions(rows) == [(0, 1, 2), (2, 3), (0, 3)]
+
+    def test_equal_rows_both_kept(self):
+        # Dedup is the caller's job; incomparable rows all survive.
+        rows = [(0, 1), (1, 2), (0, 2)]
+        assert reduce_executions(rows) == rows
+
+    def test_matches_reference_reduction(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            universe = rng.randint(3, 8)
+            rows = list(
+                dict.fromkeys(
+                    tuple(
+                        sorted(
+                            rng.sample(
+                                range(universe), rng.randint(1, universe)
+                            )
+                        )
+                    )
+                    for _ in range(rng.randint(1, 12))
+                )
+            )
+            sets = [frozenset(r) for r in rows]
+            expected = [
+                rows[i]
+                for i, es in enumerate(sets)
+                if not any(
+                    i != j and es < other for j, other in enumerate(sets)
+                )
+            ]
+            assert reduce_executions(rows) == expected
+
+
+# ----------------------------------------------------------------------
+# Selection and environment plumbing
+# ----------------------------------------------------------------------
+
+class TestResolveBackend:
+    def test_defaults_to_auto_bitset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CSP_BACKEND", raising=False)
+        assert resolve_backend() == "bitset"
+        assert resolve_backend("auto") == "bitset"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CSP_BACKEND", "reference")
+        assert resolve_backend() == "reference"
+        # An explicit parameter wins over the environment.
+        assert resolve_backend("bitset") == "bitset"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(VerificationError, match="unknown CSP backend"):
+            resolve_backend("minisat")
+
+    def test_sat_gated_on_import(self):
+        if sat_available():
+            assert resolve_backend("sat") == "sat"
+        else:
+            with pytest.raises(VerificationError, match="python-sat"):
+                resolve_backend("sat")
+
+    def test_variant_registry_covers_all_backends(self):
+        import repro.analysis.sweeps  # noqa: F401 — registers the kernels
+
+        assert KERNEL_VERSION_VARIANTS["one_round_solvability"] == tuple(
+            f"2+{suffix}" for suffix in CSP_BACKEND_VARIANTS
+        )
+        for kernel in ("solvability_shard", "solvability_subshard"):
+            assert KERNEL_VERSION_VARIANTS[kernel] == tuple(
+                f"1+{suffix}" for suffix in CSP_BACKEND_VARIANTS
+            )
+
+
+# ----------------------------------------------------------------------
+# Store separation: backends never share rows
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def rw_store(tmp_path):
+    KERNEL_CACHE.clear()
+    store = store_pkg.configure(path=tmp_path / "results.sqlite", mode="rw")
+    yield store
+    store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
+    KERNEL_CACHE.clear()
+
+
+def _store_rows(store, kernel):
+    store.flush()
+    with sqlite3.connect(store.path) as conn:
+        return sorted(
+            conn.execute(
+                "SELECT version, COUNT(*) FROM results WHERE kernel = ? "
+                "GROUP BY version",
+                (kernel,),
+            ).fetchall()
+        )
+
+
+class TestStoreSeparation:
+    def test_backends_get_distinct_store_rows(self, rw_store):
+        pool = [cycle(3)]
+        a = decide_one_round_solvability(pool, 1, backend="reference")
+        b = decide_one_round_solvability(pool, 1, backend="bitset")
+        assert a == b
+        assert _store_rows(rw_store, "one_round_solvability") == [
+            ("2+bitset", 1),
+            ("2+reference", 1),
+        ]
+
+    def test_memo_tier_is_backend_scoped(self, rw_store):
+        # The second backend must recompute even inside one process: a
+        # kernel-cache hit across backends would make every cross-check
+        # vacuous.
+        pool = [cycle(3)]
+        decide_one_round_solvability(pool, 1, backend="reference")
+        before = KERNEL_CACHE.stats()
+        decide_one_round_solvability(pool, 1, backend="bitset")
+        delta = KERNEL_CACHE.stats().delta_since(before)
+        rows = {name: (h, m) for name, h, m in delta.by_kernel}
+        assert rows["one_round_solvability"] == (0, 1)
+
+    def test_same_backend_hits_warm_store(self, rw_store):
+        pool = [cycle(3), star(3, 0)]
+        first = decide_one_round_solvability(pool, 2, backend="bitset")
+        store = store_pkg.configure(path=rw_store.path, mode=rw_store.mode)
+        KERNEL_CACHE.clear()
+        second = decide_one_round_solvability(pool, 2, backend="bitset")
+        assert first == second
+        stats = store.stats()
+        rows = {name: (h, m) for name, h, m, _w in stats.by_kernel}
+        assert rows["one_round_solvability"] == (1, 0)
+
+    def test_vacuum_keeps_every_backend_variant(self, rw_store):
+        pool = [cycle(3)]
+        decide_one_round_solvability(pool, 1, backend="reference")
+        decide_one_round_solvability(pool, 1, backend="bitset")
+        rw_store.flush()
+        # Plant a stale pre-backend row; vacuum must drop it and keep
+        # both live variants.
+        with sqlite3.connect(rw_store.path) as conn:
+            conn.execute(
+                "INSERT INTO results "
+                "(kernel, version, key_hash, value, checksum, created) "
+                "VALUES ('one_round_solvability', '1', 'deadbeef', "
+                "x'00', 'bogus', 0)"
+            )
+            conn.commit()
+        report = rw_store.vacuum()
+        assert report["deleted"] == 1
+        assert _store_rows(rw_store, "one_round_solvability") == [
+            ("2+bitset", 1),
+            ("2+reference", 1),
+        ]
+
+    def test_db_stats_marks_foreign_backend_rows_live(self, rw_store):
+        pool = [cycle(3)]
+        decide_one_round_solvability(pool, 1, backend="reference")
+        decide_one_round_solvability(pool, 1, backend="bitset")
+        info = rw_store.db_stats()
+        solvability = [
+            row
+            for row in info["kernels"]
+            if row["kernel"] == "one_round_solvability"
+        ]
+        assert len(solvability) == 2
+        assert not any(row["stale"] for row in solvability)
+        assert info["stale_entries"] == 0
