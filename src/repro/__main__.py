@@ -7,12 +7,15 @@ Usage::
                            [--backend bitset|reference|sat|check]
     python -m repro verify --family cycle --n 4 --k 2 [--rounds 3]
     python -m repro experiments [E1 E6 ...] [--jobs 4 | --distributed :7071]
+                                [--trace FILE]
     python -m repro cache-stats [--n 5] [--passes 3] [--json]
     python -m repro sweep --n 4 [--jobs 4 | --distributed :7071] [--limit K]
                           [--split-threshold 2048] [--subshard on|off]
                           [--backend bitset|reference|sat|check]
+                          [--trace FILE]
     python -m repro worker --connect HOST:7071 [--jobs 2] [--retry 30]
-    python -m repro dist status HOST:7071 [--json]
+    python -m repro dist status HOST:7071 [--json] [--watch N [--interval S]]
+    python -m repro trace summary FILE [--json] [--top 8]
     python -m repro store stats [--json]
     python -m repro store probe [--n 5] [--passes 2] [--json]
     python -m repro store vacuum | clear | integrity
@@ -45,7 +48,16 @@ default) the coordinator also streams its store's relevant rows to every
 connecting remote worker and answers their store misses over the wire,
 so hosts without a shared filesystem start warm; ``python -m repro dist
 status HOST:PORT`` probes a live coordinator for queue depth, leases,
-per-worker throughput, and rows seeded/served.
+per-worker throughput, and rows seeded/served (``--watch N`` polls).
+
+Tracing: ``--trace FILE`` (on ``experiments`` and ``sweep``, or
+``REPRO_TRACE=FILE`` for any command) records spans across every layer —
+kernel calls with cache-tier attribution, store flushes, job lifecycle,
+coordinator events — into a Chrome ``trace_event`` JSON file loadable in
+Perfetto (``ui.perfetto.dev``) or ``chrome://tracing``, with one lane per
+worker process, cluster-wide.  ``python -m repro trace summary FILE``
+aggregates a recorded trace without leaving the terminal.  Tracing never
+changes results; the equivalence tests pin traced == untraced rows.
 """
 
 from __future__ import annotations
@@ -155,12 +167,40 @@ def _executor_for(args: argparse.Namespace):
         raise SystemExit(f"--distributed: {exc}") from exc
 
 
+def _start_trace(args: argparse.Namespace) -> str | None:
+    """Enable span recording for this invocation when ``--trace`` was given.
+
+    Returns the target path (or ``None``), for :func:`_finish_trace`.
+    ``REPRO_TRACE=FILE`` reaches the same switch at import time, so the
+    flag only needs to handle the explicit opt-in.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from .obs import configure_trace
+
+    configure_trace(path)
+    return path
+
+
+def _finish_trace(path: str | None) -> None:
+    """Drain the tracer into the Chrome trace file, if tracing was on."""
+    if not path:
+        return
+    from .obs import write_trace
+
+    count = write_trace(path)
+    print(f"[trace] wrote {count} event(s) to {path}", file=sys.stderr)
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis.experiments import run
 
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be a positive integer, got {args.jobs}")
+    trace_path = _start_trace(args)
     run(args.ids or None, jobs=args.jobs, executor=_executor_for(args))
+    _finish_trace(trace_path)
     return 0
 
 
@@ -190,6 +230,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"--split-threshold must be a positive integer, "
             f"got {args.split_threshold}"
         )
+    trace_path = _start_trace(args)
     report = solvability_sweep(
         args.n,
         jobs=args.jobs,
@@ -228,6 +269,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             from .engine.batch import describe_dist_metrics
 
             print(describe_dist_metrics(report.batch.dist_metrics))
+    _finish_trace(trace_path)
     return 0
 
 
@@ -253,37 +295,25 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_dist(args: argparse.Namespace) -> int:
-    from .dist import probe_status
-    from .errors import DistError
-
-    # argparse restricts action to "status" already.
-    try:
-        status = probe_status(args.address, timeout=args.timeout)
-    except DistError as exc:
-        raise SystemExit(f"dist status: {exc}") from exc
-    if args.json:
-        print(json.dumps(status, indent=2))
-        return 0
-    print(
-        f"coordinator {args.address}: "
+def _render_dist_status(address: str, status: dict) -> str:
+    """The human rendering of one coordinator status snapshot."""
+    lines = [
+        f"coordinator {address}: "
         f"{status['completed']}/{status['jobs']} jobs done, "
         f"queue depth {status['queue_depth']}, "
-        f"{status['leases']} lease(s), {status['requeues']} requeue(s)"
-    )
-    print(
+        f"{status['leases']} lease(s), {status['requeues']} requeue(s)",
         f"  store seeding {'on' if status['seed_store'] else 'off'}, "
         f"remote loads {'on' if status['remote_loads'] else 'off'}: "
         f"{status['rows_seeded']} row(s) seeded, "
-        f"{status['loads_served']} load(s) served"
-    )
+        f"{status['loads_served']} load(s) served",
+    ]
     if status.get("reductions_total"):
-        print(
+        lines.append(
             f"  reductions: {status['reductions_done']}"
             f"/{status['reductions_total']} fired"
         )
     for worker in status["workers"]:
-        print(
+        lines.append(
             f"  worker {worker['worker']}: {worker['completed']} done, "
             f"{worker['failed']} failed, "
             f"{worker['jobs_per_minute']:.1f} jobs/min, "
@@ -291,6 +321,55 @@ def cmd_dist(args: argparse.Namespace) -> int:
             f"{worker['loads_served']} served, "
             f"idle {worker['idle']:.1f}s"
         )
+    return "\n".join(lines)
+
+
+def cmd_dist(args: argparse.Namespace) -> int:
+    from .dist import probe_status, watch_status
+    from .errors import DistError
+
+    # argparse restricts action to "status" already.
+    try:
+        if args.watch is not None:
+            render = (
+                None
+                if args.json
+                else lambda status: _render_dist_status(args.address, status)
+            )
+            watch_status(
+                args.address,
+                interval=args.watch,
+                count=args.count,
+                render=render,
+                timeout=args.timeout,
+            )
+            return 0
+        status = probe_status(args.address, timeout=args.timeout)
+    except DistError as exc:
+        raise SystemExit(f"dist status: {exc}") from exc
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    print(_render_dist_status(args.address, status))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import describe_summary, load_trace, summarize_trace
+
+    # argparse restricts action to "summary" already.
+    try:
+        events = load_trace(args.file)
+    except OSError as exc:
+        raise SystemExit(f"trace summary: {exc}") from exc
+    except ValueError as exc:
+        raise SystemExit(f"trace summary: {args.file}: not a trace file "
+                         f"({exc})") from exc
+    summary = summarize_trace(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(describe_summary(summary, top=args.top))
     return 0
 
 
@@ -489,6 +568,17 @@ def main(argv: list[str] | None = None) -> int:
             "(default: on)",
         )
 
+    def add_trace_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", metavar="FILE",
+            help="record spans from every layer (kernel calls with cache-"
+            "tier attribution, store flushes, job lifecycle, coordinator "
+            "events — including remote workers' spans, shipped home with "
+            "their results) into a Chrome trace_event JSON file; open it "
+            "in Perfetto, or run 'python -m repro trace summary FILE'.  "
+            "REPRO_TRACE=FILE does the same for any command",
+        )
+
     p_exp = sub.add_parser("experiments", help="run experiment tables")
     p_exp.add_argument("ids", nargs="*", help="e.g. E1 E6 (default: all)")
     p_exp.add_argument(
@@ -496,6 +586,7 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the experiment batch (default: 1)",
     )
     add_distributed_arg(p_exp)
+    add_trace_arg(p_exp)
     p_exp.set_defaults(func=cmd_experiments)
 
     p_worker = sub.add_parser(
@@ -535,9 +626,39 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds to wait for the probe reply (default: 5)",
     )
     p_dist.add_argument(
+        "--watch", type=float, default=None, metavar="N",
+        help="poll every N seconds instead of probing once, clearing and "
+        "reprinting the panel, until the coordinator goes away (the run "
+        "finished); with --json, emits one JSON object per poll line",
+    )
+    p_dist.add_argument(
+        "--count", type=int, default=None, metavar="K",
+        help="with --watch: stop after K polls (default: until the "
+        "coordinator goes away)",
+    )
+    p_dist.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
     p_dist.set_defaults(func=cmd_dist)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect recorded traces: 'summary FILE' aggregates a Chrome "
+        "trace written by --trace / REPRO_TRACE (top kernels by self-time, "
+        "cache-tier hit rates, per-worker utilization, stragglers)",
+    )
+    p_trace.add_argument("action", choices=("summary",))
+    p_trace.add_argument(
+        "file", help="trace file written by --trace FILE / REPRO_TRACE=FILE"
+    )
+    p_trace.add_argument(
+        "--top", type=int, default=8,
+        help="kernels to list in the self-time table (default: 8)",
+    )
+    p_trace.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_cache = sub.add_parser(
         "cache-stats",
@@ -591,6 +712,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_backend_arg(p_sweep)
     add_distributed_arg(p_sweep)
+    add_trace_arg(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_store = sub.add_parser(

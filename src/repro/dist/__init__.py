@@ -41,6 +41,7 @@ from .executor import (
     make_executor,
     parse_address,
     probe_status,
+    watch_status,
 )
 from .coordinator import Coordinator
 from .protocol import PROTOCOL_VERSION, ProtocolError
@@ -61,4 +62,5 @@ __all__ = [
     "probe_status",
     "run_worker",
     "run_workers",
+    "watch_status",
 ]

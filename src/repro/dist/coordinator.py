@@ -53,6 +53,8 @@ from ..engine.batch import (
 )
 from ..engine.cache import KERNEL_CACHE, CacheStats
 from ..errors import DistError
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
 from .protocol import (
     DIST_STATUS,
     DIST_STATUS_REPLY,
@@ -325,6 +327,9 @@ class Coordinator:
             target=self._monitor_loop, name="dist-monitor", daemon=True
         )
         self._threads = [accept, monitor]
+        # The live coordinator is the process's dist-metrics source; a
+        # later batch's coordinator simply replaces the provider.
+        METRICS.register_stats("dist", self.metrics_snapshot)
         accept.start()
         monitor.start()
         self._log(f"coordinator listening on {self.address[0]}:{self.address[1]}")
@@ -424,6 +429,7 @@ class Coordinator:
                     self._pending.appendleft(index)
                     self._requeues += 1
             for index in expired:
+                TRACER.instant("dist:requeue", cat="dist", index=index)
                 self._log(
                     f"requeued job {index} after {self._lease_timeout:.0f}s "
                     "without a heartbeat"
@@ -486,11 +492,20 @@ class Coordinator:
                     "warmup": self._warmup,
                     "heartbeat": self._lease_timeout / 3,
                     "seed": {"enabled": seed, "remote": remote},
+                    # Observability: the coordinator's wall clock (the
+                    # worker's clock-offset reference point) and whether
+                    # the worker should buffer + ship trace spans.
+                    "now": time.time(),
+                    "trace": TRACER.enabled,
                 },
             )
             self._log(f"worker {worker_name} connected")
             if seed:
-                seeded = self._stream_seed(conn)
+                with TRACER.span(
+                    "dist:seed_stream", cat="dist", worker=worker_name
+                ) as sp:
+                    seeded = self._stream_seed(conn)
+                    sp.set(rows=seeded)
                 with self._lock:
                     self._rows_seeded += seeded
                     info.seeded_rows += seeded
@@ -505,6 +520,10 @@ class Coordinator:
                 with self._lock:
                     info.last_seen = time.monotonic()
                 if kind == "heartbeat":
+                    TRACER.instant(
+                        "dist:heartbeat", cat="dist", worker=worker_name,
+                        index=payload.get("index"),
+                    )
                     self._extend_lease(owner, payload.get("index"))
                     continue
                 if kind == STORE_LOAD:
@@ -560,6 +579,10 @@ class Coordinator:
                     deadline=time.monotonic() + self._lease_timeout,
                 )
                 held.add(index)
+                TRACER.instant(
+                    "dist:lease", cat="dist", index=index, owner=owner,
+                    job=self._tasks[index].name,
+                )
                 return "job", {"index": index, "job": self._tasks[index]}
             return "wait", {"delay": self._wait_delay}
 
@@ -603,6 +626,10 @@ class Coordinator:
                     )
         # Persist outside the queue lock: the store has its own lock, and
         # a slow flush must not stall assignment to other workers.
+        if isinstance(outcome, JobResult):
+            # Worker spans shipped inside the result join this process's
+            # buffer — the only one the trace file is written from.
+            TRACER.absorb(outcome.trace_events)
         if self._store is not None and isinstance(outcome, JobResult):
             self._store.absorb_touches(outcome.store_touches)
             if outcome.store_rows:
@@ -627,6 +654,10 @@ class Coordinator:
         with self._lock:
             inputs = [self._outcomes[i] for i in reduction.over]
         outcome = fire_reduction(reduction, inputs)
+        if isinstance(outcome, JobResult):
+            # The reduction ran here, so this re-absorbs our own drained
+            # spans — a harmless round trip that keeps one code path.
+            TRACER.absorb(outcome.trace_events)
         if self._store is not None and isinstance(outcome, JobResult):
             self._store.absorb_touches(outcome.store_touches)
             if outcome.store_rows:
@@ -635,6 +666,7 @@ class Coordinator:
         with self._lock:
             self._reductions.outcomes[rid] = outcome
             self._reductions_pending -= 1
+        TRACER.instant("dist:reduction", cat="dist", reduction=reduction.name)
         self._log(f"reduction {reduction.name} fired")
 
     def _maybe_done(self) -> None:

@@ -18,7 +18,10 @@ pin serial == pool == dist.  :func:`make_executor` maps the CLI surface
 
 from __future__ import annotations
 
+import json
 import socket
+import sys
+import time
 from collections.abc import Callable, Sequence
 from typing import Protocol, runtime_checkable
 
@@ -40,6 +43,7 @@ __all__ = [
     "make_executor",
     "parse_address",
     "probe_status",
+    "watch_status",
 ]
 
 
@@ -255,3 +259,62 @@ def probe_status(
         return payload
     finally:
         sock.close()
+
+
+#: ANSI clear-screen + cursor-home, the "reprint in place" of watch mode.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def watch_status(
+    address: str | tuple[str, int],
+    *,
+    interval: float = 2.0,
+    count: int | None = None,
+    render: Callable[[dict], str] | None = None,
+    stream=None,
+    clear: bool = True,
+    timeout: float = 5.0,
+    probe: Callable[..., dict] = probe_status,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll a coordinator's status until it goes away; returns poll count.
+
+    The engine behind ``python -m repro dist status --watch N``: probe,
+    print, sleep, repeat.  ``render`` formats each snapshot (``None``
+    emits one compact JSON object per poll — the ``--json`` line
+    protocol); ``clear`` prefixes each human-mode reprint with an ANSI
+    clear-screen so the terminal shows one live panel instead of a
+    scroll.  A coordinator that stops answering *after* at least one
+    successful poll ends the watch normally (the run finished); an
+    address that never answers raises :class:`~repro.errors.DistError`
+    immediately, exactly like a single-shot probe.  ``count`` bounds the
+    polls (``None`` = until the coordinator goes away); ``probe`` and
+    ``sleep`` are injectable for tests.
+    """
+    if interval <= 0:
+        raise DistError(f"watch interval must be positive, got {interval}")
+    if count is not None and count < 1:
+        raise DistError(f"watch count must be positive, got {count}")
+    out = stream if stream is not None else sys.stdout
+    polls = 0
+    while count is None or polls < count:
+        try:
+            status = probe(address, timeout=timeout)
+        except DistError:
+            if polls == 0:
+                raise
+            break  # was answering, now gone: the run finished
+        polls += 1
+        if render is None:
+            text = json.dumps(status, sort_keys=True)
+        else:
+            text = render(status)
+            if clear:
+                text = _CLEAR + text
+        out.write(text + "\n")
+        if hasattr(out, "flush"):
+            out.flush()
+        if count is not None and polls >= count:
+            break
+        sleep(interval)
+    return polls

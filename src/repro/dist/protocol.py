@@ -12,7 +12,8 @@ The conversation, after a version handshake, is worker-driven::
     worker                          coordinator
     ------                          -----------
     hello {version, worker}    ->
-                               <-   welcome {version, jobs, warmup, seed}
+                               <-   welcome {version, jobs, warmup, seed,
+                                    now, trace}
                                <-   store_seed {rows, done}*  (warm start,
                                     zero or more chunks, last has done=True)
     next {}                    ->
@@ -39,6 +40,15 @@ A second, trivial conversation supports observability: a probe client's
 with one ``status_reply {...}`` (queue depth, leases, per-worker
 throughput, seed/serve counters) after which the connection closes.  That
 is what ``python -m repro dist status HOST:PORT`` speaks.
+
+Tracing rides the existing frames rather than adding new ones: the
+``welcome`` carries ``now`` (the coordinator's wall clock, the reference
+for the worker's NTP-midpoint clock-offset estimate) and ``trace`` (tell
+the worker to buffer spans), and a traced worker's spans ship home inside
+each ``result``'s ``JobResult.trace_events`` — exactly like its banked
+store rows, so the coordinator stays the trace file's single writer.
+Dict payloads may grow keys without a version bump (readers ``get`` what
+they know); ``PROTOCOL_VERSION`` changes only when existing semantics do.
 """
 
 from __future__ import annotations

@@ -44,6 +44,7 @@ from dataclasses import dataclass, replace
 
 from ..engine.batch import JobFailure, execute_job
 from ..errors import DistError
+from ..obs.trace import TRACER, estimate_clock_offset
 from .protocol import (
     PROTOCOL_VERSION,
     STORE_LOAD,
@@ -294,7 +295,9 @@ def run_worker(
     clean = False
     store = _worker_store()
     store_restore = None
+    trace_restore = None
     try:
+        hello_sent = time.time()
         with send_lock:
             send_message(
                 sock,
@@ -310,6 +313,7 @@ def run_worker(
                 },
             )
         greeting = recv_message(sock)
+        welcome_received = time.time()
         if greeting is None:
             raise DistError("coordinator closed during handshake")
         kind, payload = greeting
@@ -324,10 +328,32 @@ def run_worker(
         seed_offer = payload.get("seed") or {}
         seed_enabled = bool(seed_offer.get("enabled"))
         remote_enabled = bool(seed_offer.get("remote"))
+        if payload.get("trace"):
+            # The coordinator traces, so this worker buffers spans and
+            # ships them inside each JobResult — no local environment
+            # needed.  The coordinator stamped its wall clock into the
+            # welcome; the NTP midpoint estimate aligns this worker's
+            # timestamps onto the coordinator's timeline at drain time.
+            trace_restore = (TRACER.enabled, TRACER.clock_offset)
+            TRACER.enabled = True
+            remote_now = payload.get("now")
+            if isinstance(remote_now, (int, float)):
+                TRACER.clock_offset = estimate_clock_offset(
+                    hello_sent, welcome_received, remote_now
+                )
+            TRACER.instant(
+                "dist:handshake", cat="dist", worker=name,
+                offset=TRACER.clock_offset,
+                rtt=welcome_received - hello_sent,
+            )
         if (seed_enabled or remote_enabled) and store is None:
             store, store_restore = _install_memory_store()
         if seed_enabled:
-            seeded_rows = _receive_seed(sock, store)
+            with TRACER.span(
+                "dist:seed_receive", cat="dist", worker=name
+            ) as sp:
+                seeded_rows = _receive_seed(sock, store)
+                sp.set(rows=seeded_rows)
             log(f"worker {name}: seeded {seeded_rows} store row(s)")
         if remote_enabled and store is not None:
             store.remote_tier = RemoteStoreTier(sock, send_lock)
@@ -398,6 +424,12 @@ def run_worker(
             name, completed, failed, start, clean=False, seeded=seeded_rows
         )
     finally:
+        if trace_restore is not None:
+            # In-thread workers (tests, single-host convenience) share the
+            # process-global tracer with the coordinator; hand back its
+            # previous switch and clock so later batches are unaffected.
+            # (Dedicated worker processes exit right after anyway.)
+            TRACER.enabled, TRACER.clock_offset = trace_restore
         if store is not None:
             # Dedicated worker processes exit anyway; in-thread workers
             # (tests) share the process-global store and must hand the

@@ -57,6 +57,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field, replace
 
 from ..errors import EngineError
+from ..obs.trace import TRACER
 from .cache import KERNEL_CACHE, CacheStats
 
 __all__ = [
@@ -68,6 +69,7 @@ __all__ = [
     "Reduction",
     "run_batch",
     "describe_dist_metrics",
+    "dist_metrics_as_dict",
     "execute_job",
     "fire_reduction",
     "finalize_outcomes",
@@ -115,6 +117,15 @@ class JobResult:
     ``store_rows``; the parent applies them so prune's recency signal
     survives pool/dist execution)."""
 
+    worker: str = ""
+    """Lane label (``host:pid``) of the process that executed this job —
+    per-worker attribution for pool metrics and trace summaries."""
+
+    trace_events: tuple = ()
+    """Trace spans drained from the executing process, shipped home like
+    ``store_rows`` so the batch parent (or dist coordinator) stays the
+    trace file's only writer.  Empty unless tracing is enabled."""
+
 
 @dataclass(frozen=True)
 class Reduction:
@@ -157,6 +168,8 @@ class JobFailure:
     """Submission index of the failed job (-1 when unknown)."""
     traceback: str | None = None
     cause: BaseException | None = None
+    worker: str = ""
+    """Lane label (``host:pid``) of the process the job failed in."""
 
     def sanitized(self) -> "JobFailure":
         """A copy safe to pickle across hosts (exception object dropped)."""
@@ -265,6 +278,84 @@ def describe_dist_metrics(metrics: Mapping) -> str:
     return "\n".join(lines)
 
 
+def dist_metrics_as_dict(metrics: Mapping | None) -> dict:
+    """Normalize :attr:`BatchResult.dist_metrics` to one JSON shape.
+
+    The unified stats surface for worker metrics, whatever executor
+    produced them (dist coordinator or pool parent): stable top-level
+    counters plus a ``workers`` list in ``_WorkerInfo.snapshot``'s key
+    shape.  Missing keys default to zero so older payloads normalize
+    instead of KeyErroring.
+    """
+    metrics = dict(metrics or {})
+    workers = []
+    for worker in metrics.get("workers", ()):
+        worker = dict(worker)
+        workers.append(
+            {
+                "worker": str(worker.get("worker", "?")),
+                "completed": int(worker.get("completed", 0)),
+                "failed": int(worker.get("failed", 0)),
+                "seeded_rows": int(worker.get("seeded_rows", 0)),
+                "loads_served": int(worker.get("loads_served", 0)),
+                "elapsed": float(worker.get("elapsed", 0.0)),
+                "jobs_per_minute": float(worker.get("jobs_per_minute", 0.0)),
+                "idle": float(worker.get("idle", 0.0)),
+            }
+        )
+    return {
+        "requeues": int(metrics.get("requeues", 0)),
+        "rows_seeded": int(metrics.get("rows_seeded", 0)),
+        "loads_served": int(metrics.get("loads_served", 0)),
+        "workers": workers,
+    }
+
+
+def _pool_metrics(outcomes, wall: float) -> dict:
+    """Per-worker-process metrics for a pool batch, dist-metrics shaped.
+
+    Built from each outcome's ``worker`` lane so the pool path fills
+    :attr:`BatchResult.dist_metrics` in exactly the coordinator's shape
+    (seeding/remote-load counters are structurally present but zero —
+    pool workers share the parent's filesystem and never seed).
+    """
+    lanes: dict[str, dict] = {}
+    for outcome in outcomes:
+        lane = getattr(outcome, "worker", "") or "?"
+        info = lanes.setdefault(
+            lane, {"completed": 0, "failed": 0, "elapsed": 0.0}
+        )
+        if isinstance(outcome, JobFailure):
+            info["failed"] += 1
+        else:
+            info["completed"] += 1
+            info["elapsed"] += outcome.elapsed
+    workers = []
+    for lane in sorted(lanes):
+        info = lanes[lane]
+        busy = info["elapsed"]
+        workers.append(
+            {
+                "worker": lane,
+                "completed": info["completed"],
+                "failed": info["failed"],
+                "seeded_rows": 0,
+                "loads_served": 0,
+                "elapsed": busy,
+                "jobs_per_minute": (
+                    info["completed"] / (busy / 60.0) if busy > 0 else 0.0
+                ),
+                "idle": max(wall - busy, 0.0),
+            }
+        )
+    return {
+        "requeues": 0,
+        "rows_seeded": 0,
+        "loads_served": 0,
+        "workers": workers,
+    }
+
+
 def _execute_indexed(
     item: tuple[int, Job]
 ) -> tuple[int, JobResult | JobFailure]:
@@ -286,11 +377,13 @@ def execute_job(job: Job) -> JobResult | JobFailure:
     parent needs (value, timings, cache delta, drained store rows).
     """
     store = _active_store()
+    lane = TRACER.lane()
     before = KERNEL_CACHE.stats()
     store_before = store.stats() if store is not None else None
     start = time.perf_counter()
     try:
-        value = job.run()
+        with TRACER.span(f"job:{job.name}", cat="job"):
+            value = job.run()
     except Exception as exc:
         # Converted to JobError by the parent; KeyboardInterrupt/SystemExit
         # propagate so Ctrl-C keeps its semantics on the serial path.
@@ -298,6 +391,7 @@ def execute_job(job: Job) -> JobResult | JobFailure:
             name=job.name,
             message=f"{type(exc).__name__}: {exc}",
             cause=exc,
+            worker=lane,
         )
     elapsed = time.perf_counter() - start
     delta = KERNEL_CACHE.stats().delta_since(before)
@@ -308,6 +402,10 @@ def execute_job(job: Job) -> JobResult | JobFailure:
         store_delta = store.stats().delta_since(store_before)
         store_rows = store.drain_pending()
         store_touches = store.drain_touches()
+    # Drain *everything* buffered, not just this job's spans: stray
+    # events recorded between jobs (handshakes, warmup flushes) ride
+    # home with the next result instead of lingering in the worker.
+    trace_events = TRACER.drain() if TRACER.enabled else ()
     return JobResult(
         name=job.name,
         value=value,
@@ -316,6 +414,8 @@ def execute_job(job: Job) -> JobResult | JobFailure:
         store_stats=store_delta,
         store_rows=store_rows,
         store_touches=store_touches,
+        worker=lane,
+        trace_events=trace_events,
     )
 
 
@@ -537,6 +637,7 @@ def run_batch(
     if jobs < 1:
         raise EngineError(f"jobs must be positive, got {jobs}")
     workers = min(jobs, len(tasks))
+    batch_start = time.perf_counter()
     plan = _ReductionState(len(tasks), reductions)
     store = _active_store()
     if store is not None:
@@ -552,6 +653,11 @@ def run_batch(
         the parallel path — so a run killed later has already banked
         every job finished by then, independent of slower neighbours.
         """
+        if isinstance(outcome, JobResult):
+            # Re-absorbing the serial path's own drained events is a
+            # harmless round trip; from pool workers this is the only
+            # way spans reach the (single-writer) trace buffer.
+            TRACER.absorb(outcome.trace_events)
         if store is not None and isinstance(outcome, JobResult):
             store.absorb_touches(outcome.store_touches)
             if outcome.store_rows:
@@ -597,10 +703,22 @@ def run_batch(
                 _execute_indexed, list(enumerate(tasks))
             ):
                 _land(index, outcome)
-    return finalize_outcomes(
-        [o for o in outcomes if o is not None],
+    landed = [o for o in outcomes if o is not None]
+    result = finalize_outcomes(
+        landed,
         workers=workers,
         store=store,
         on_error=on_error,
         reduction_outcomes=plan.outcomes,
     )
+    if workers > 1:
+        # Pool runs fill dist_metrics in the coordinator's shape so
+        # executor footers render uniformly (serial stays None: one
+        # process, nothing worth a per-worker breakdown).
+        result = replace(
+            result,
+            dist_metrics=_pool_metrics(
+                landed, time.perf_counter() - batch_start
+            ),
+        )
+    return result

@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 from functools import wraps
 from threading import RLock
 
+from ..obs.trace import TRACER
+
 __all__ = [
     "CacheStats",
     "KernelCache",
@@ -122,6 +124,12 @@ class CacheStats:
                 for name, h, m in self.by_kernel
             ],
         }
+
+    def as_dict(self) -> dict:
+        """Alias for :meth:`to_dict` — the unified stats-surface name
+        shared with ``StoreStats`` and the dist metrics (what the
+        :class:`repro.obs.MetricsRegistry` providers call)."""
+        return self.to_dict()
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
@@ -372,31 +380,52 @@ def cached_kernel(
                 f"{kernel_version}+{suffix}",
             )
 
-        @wraps(fn)
-        def wrapper(*args, **kwargs):
+        def _invoke(args, kwargs):
+            """One kernel call; returns ``(value, tier)``.
+
+            ``tier`` names which memoization layer served the call —
+            ``memo`` / ``seed`` / ``store`` / ``remote`` / ``computed``
+            (or ``bypass`` when caching is off) — and is what the trace
+            spans record as hit attribution.
+            """
             target = store if store is not None else KERNEL_CACHE
             if not target.enabled:
                 # Count the bypass as a miss so disabled runs stay
                 # observable.  The persistent tier is bypassed too:
                 # disabling the cache means "compute the reference value".
                 target.lookup(kernel, None)
-                return fn(*args, **kwargs)
+                return fn(*args, **kwargs), "bypass"
             memo_key, store_key, store_version = _identity(args, kwargs)
             value = target.lookup(kernel, memo_key)
-            if value is _MISSING:
-                tier = _second_tier()
-                if tier is not None:
-                    from ..store.backend import MISS as _STORE_MISS
+            if value is not _MISSING:
+                return value, "memo"
+            tier = _second_tier()
+            if tier is not None:
+                from ..store.backend import MISS as _STORE_MISS
 
-                    stored = tier.load(kernel, store_version, store_key)
-                    if stored is _STORE_MISS:
-                        value = fn(*args, **kwargs)
-                        tier.save(kernel, store_version, store_key, value)
-                    else:
-                        value = stored
-                else:
+                stored = tier.load(kernel, store_version, store_key)
+                if stored is _STORE_MISS:
                     value = fn(*args, **kwargs)
-                target.store(kernel, memo_key, value)
+                    tier.save(kernel, store_version, store_key, value)
+                    served = "computed"
+                else:
+                    value = stored
+                    # The store knows which of its layers answered
+                    # (pending/sqlite, seed overlay, remote fallthrough).
+                    served = tier.last_load_tier() or "store"
+            else:
+                value = fn(*args, **kwargs)
+                served = "computed"
+            target.store(kernel, memo_key, value)
+            return value, served
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not TRACER.enabled:
+                return _invoke(args, kwargs)[0]
+            with TRACER.span(f"kernel:{kernel}", cat="kernel") as sp:
+                value, served = _invoke(args, kwargs)
+                sp.set(tier=served)
             return value
 
         def seed(value, *args, **kwargs):

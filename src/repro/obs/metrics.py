@@ -1,0 +1,153 @@
+"""Process-global metrics: counters, histograms, and one stats surface.
+
+Two halves:
+
+* **Primitive metrics** — :meth:`MetricsRegistry.counter` and
+  :meth:`MetricsRegistry.histogram` hand out named, thread-safe
+  instruments any layer can increment without ceremony.  They are
+  always on (an integer add is cheaper than checking a switch) and
+  surface through :meth:`MetricsRegistry.snapshot`.
+
+* **Registered stats providers** — the pre-existing stats surfaces
+  (:class:`~repro.engine.cache.CacheStats`,
+  :class:`~repro.store.backend.StoreStats`, the coordinator's dist
+  metrics) each register a provider returning their ``as_dict()``
+  shape.  ``snapshot()`` collects them all under stable top-level keys,
+  which is what keeps ``sweep --json`` / ``cache-stats --json`` /
+  ``dist status --json`` from drifting apart: every surface renders the
+  same dict the registry would.
+
+The registry is deliberately dumb: no export loop, no backends — the
+trace file and the ``--json`` CLIs are the transport.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "METRICS"]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "value": self._value}
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max).
+
+    No buckets: the consumers here want totals and extremes (span
+    durations, flush sizes), and a bucketed histogram would invite
+    bikeshedding over boundaries nothing reads.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed counters/histograms plus pluggable stats providers."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._providers: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            return counter
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name)
+            return histogram
+
+    def register_stats(self, name: str, provider) -> None:
+        """Register (or replace) a zero-arg callable returning a dict.
+
+        Providers run lazily at :meth:`snapshot` time — registering is
+        free and safe at import.  A provider that raises is reported as
+        ``{"error": ...}`` rather than taking the whole snapshot down
+        (observability must never crash the observed).
+        """
+        with self._lock:
+            self._providers[name] = provider
+
+    def snapshot(self) -> dict:
+        """Everything, JSON-ready: counters, histograms, provider stats."""
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+            providers = dict(self._providers)
+        stats = {}
+        for name, provider in sorted(providers.items()):
+            try:
+                stats[name] = provider()
+            except Exception as exc:
+                stats[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "histograms": {h.name: h.as_dict() for h in histograms},
+            "stats": stats,
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests); providers stay registered."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+#: The process-global registry every layer shares.
+METRICS = MetricsRegistry()

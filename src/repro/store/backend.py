@@ -50,12 +50,14 @@ import multiprocessing
 import os
 import pickle
 import sqlite3
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from threading import RLock
 
 from ..errors import StoreError
+from ..obs.trace import TRACER
 from .keys import fingerprint
 
 __all__ = [
@@ -175,6 +177,12 @@ class StoreStats:
             ],
         }
 
+    def as_dict(self) -> dict:
+        """Alias for :meth:`to_dict` — the unified stats-surface name
+        shared with ``CacheStats`` and the dist metrics (what the
+        :class:`repro.obs.MetricsRegistry` providers call)."""
+        return self.to_dict()
+
     def describe(self) -> str:
         lines = [
             f"result store: {self.hits} hits / {self.misses} misses "
@@ -288,6 +296,11 @@ class ResultStore:
         self._conn_pid: int | None = None
         self._broken_pid: int | None = None
         self._lock = RLock()
+        # Which layer answered this thread's most recent load() — the
+        # kernel wrapper reads it for trace-span tier attribution.
+        # Thread-local because the dist coordinator serves loads from
+        # connection-handler threads concurrently with local kernels.
+        self._last_tier = threading.local()
 
     # ------------------------------------------------------------------
     # Mode switches
@@ -313,6 +326,22 @@ class ResultStore:
     def _defer_writes(self) -> bool:
         """True when this process must not touch SQLite (batch/dist worker)."""
         return self.worker_mode or _in_daemon_process()
+
+    # ------------------------------------------------------------------
+    # Hit-tier attribution (trace spans)
+    # ------------------------------------------------------------------
+    def _served_by(self, tier: str | None) -> None:
+        self._last_tier.value = tier
+
+    def last_load_tier(self) -> str | None:
+        """Which layer answered this thread's most recent :meth:`load`.
+
+        ``"store"`` (pending overlay or SQLite), ``"seed"`` (in-memory
+        warm-start tier), ``"remote"`` (coordinator round trip), or
+        ``None`` after a miss.  Consumed by :func:`~repro.engine.cache.
+        cached_kernel` to stamp the ``tier`` attribute on kernel spans.
+        """
+        return getattr(self._last_tier, "value", None)
 
     # ------------------------------------------------------------------
     # Connection management
@@ -401,6 +430,7 @@ class ResultStore:
         Misses include: store inactive, unfingerprintable key, absent row,
         and corrupt row (which is deleted so it cannot keep failing).
         """
+        self._served_by(None)
         if not self.active:
             return MISS
         key_hash = fingerprint(key)
@@ -412,6 +442,7 @@ class ResultStore:
             pending = self._pending.get(full_key)
             if pending is not None:
                 counters.hits += 1
+                self._served_by("store")
                 return pickle.loads(pending[3])
             seeded = self._seed.get(full_key)
             if seeded is not None:
@@ -423,6 +454,7 @@ class ResultStore:
                     counters.hits += 1
                     counters.seed_hits += 1
                     self._touch(full_key)
+                    self._served_by("seed")
                     return value
             conn = self._connection()
             if conn is not None:
@@ -446,6 +478,7 @@ class ResultStore:
                         else:
                             counters.hits += 1
                             self._touch(full_key)
+                            self._served_by("store")
                             return value
             if self.remote_tier is None:
                 counters.misses += 1
@@ -510,6 +543,7 @@ class ResultStore:
             counters.hits += 1
             counters.remote_hits += 1
             self._touch(full_key)
+            self._served_by("remote")
             return value
 
     def save(self, kernel: str, version: str, key: object, value: object) -> None:
@@ -581,34 +615,38 @@ class ResultStore:
                 self._touched.clear()
                 return 0
             rows = list(self._pending.values())
-            if rows:
-                # Upsert rather than replace: a duplicate arrival (e.g. a
-                # requeued job recomputed elsewhere, or an imported delta
-                # of rows this file already holds) must never move a hot
-                # row's last_used backwards.
-                conn.executemany(
-                    "INSERT INTO results "
-                    "(kernel, version, key_hash, value, checksum, created, "
-                    "last_used) VALUES (?, ?, ?, ?, ?, ?, ?) "
-                    "ON CONFLICT(kernel, version, key_hash) DO UPDATE SET "
-                    "value = excluded.value, checksum = excluded.checksum, "
-                    "last_used = MAX(COALESCE(results.last_used, "
-                    "results.created), excluded.last_used)",
-                    [row[:6] + (_row_last_used(row),) for row in rows],
-                )
-            # Touches for rows that are also pending were just written
-            # with last_used = created; the UPDATE below refreshes them.
-            if self._touched:
-                conn.executemany(
-                    "UPDATE results SET last_used = ? "
-                    "WHERE kernel = ? AND version = ? AND key_hash = ?",
-                    [
-                        (when, kernel, version, key_hash)
-                        for (kernel, version, key_hash), when
-                        in self._touched.items()
-                    ],
-                )
-            conn.commit()
+            with TRACER.span(
+                "store:flush", cat="store",
+                rows=len(rows), touches=len(self._touched),
+            ):
+                if rows:
+                    # Upsert rather than replace: a duplicate arrival (e.g.
+                    # a requeued job recomputed elsewhere, or an imported
+                    # delta of rows this file already holds) must never
+                    # move a hot row's last_used backwards.
+                    conn.executemany(
+                        "INSERT INTO results "
+                        "(kernel, version, key_hash, value, checksum, created, "
+                        "last_used) VALUES (?, ?, ?, ?, ?, ?, ?) "
+                        "ON CONFLICT(kernel, version, key_hash) DO UPDATE SET "
+                        "value = excluded.value, checksum = excluded.checksum, "
+                        "last_used = MAX(COALESCE(results.last_used, "
+                        "results.created), excluded.last_used)",
+                        [row[:6] + (_row_last_used(row),) for row in rows],
+                    )
+                # Touches for rows that are also pending were just written
+                # with last_used = created; the UPDATE below refreshes them.
+                if self._touched:
+                    conn.executemany(
+                        "UPDATE results SET last_used = ? "
+                        "WHERE kernel = ? AND version = ? AND key_hash = ?",
+                        [
+                            (when, kernel, version, key_hash)
+                            for (kernel, version, key_hash), when
+                            in self._touched.items()
+                        ],
+                    )
+                conn.commit()
             self._pending.clear()
             self._touched.clear()
             return len(rows)
@@ -716,15 +754,17 @@ class ResultStore:
         is what preserves the cluster-wide single-writer invariant.
         """
         kept = 0
-        with self._lock:
-            for row in rows or ():
-                try:
-                    if len(row) < 6 or _checksum(row[3]) != row[4]:
+        with TRACER.span("store:seed_import", cat="store") as sp:
+            with self._lock:
+                for row in rows or ():
+                    try:
+                        if len(row) < 6 or _checksum(row[3]) != row[4]:
+                            continue
+                    except TypeError:
                         continue
-                except TypeError:
-                    continue
-                self._seed[(row[0], row[1], row[2])] = tuple(row)
-                kept += 1
+                    self._seed[(row[0], row[1], row[2])] = tuple(row)
+                    kept += 1
+            sp.set(rows=kept)
         return kept
 
     def clear_seed(self) -> int:
@@ -930,7 +970,7 @@ class ResultStore:
         """
         if not self.writable:
             raise StoreError("vacuum needs a writable (rw) store")
-        with self._lock:
+        with self._lock, TRACER.span("store:vacuum", cat="store") as sp:
             self.flush()
             conn = self._connection()
             if conn is None:
@@ -949,6 +989,7 @@ class ResultStore:
             remaining = conn.execute(
                 "SELECT COUNT(*) FROM results"
             ).fetchone()[0]
+            sp.set(deleted=deleted, remaining=remaining)
             return {"deleted": deleted, "remaining": remaining}
 
     def prune(
@@ -979,7 +1020,7 @@ class ResultStore:
             raise StoreError(f"max_size_mb must be positive, got {max_size_mb}")
         if not self.writable:
             raise StoreError("prune needs a writable (rw) store")
-        with self._lock:
+        with self._lock, TRACER.span("store:prune", cat="store") as sp:
             self.flush()
             conn = self._connection()
             if conn is None:
@@ -1035,6 +1076,11 @@ class ResultStore:
             remaining = conn.execute(
                 "SELECT COUNT(*) FROM results"
             ).fetchone()[0]
+            sp.set(
+                deleted_age=deleted_age,
+                deleted_size=deleted_size,
+                remaining=remaining,
+            )
             return {
                 "deleted_age": deleted_age,
                 "deleted_size": deleted_size,

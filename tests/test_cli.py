@@ -107,11 +107,15 @@ class TestExperiments:
 
     @staticmethod
     def _table_bodies(out: str) -> list[str]:
-        """Table rows only — timings and cache footers legitimately vary."""
+        """Table rows only — timings, cache footers, and the pool/dist
+        per-worker throughput footer legitimately vary."""
         return [
             line
             for line in out.splitlines()
-            if line and not line.startswith(("##", "```", "[cache:", "ran "))
+            if line
+            and not line.startswith(
+                ("##", "```", "[cache:", "ran ", "dist:", "  worker ")
+            )
         ]
 
     def test_parallel_jobs_match_serial(self, capsys):

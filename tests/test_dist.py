@@ -281,10 +281,29 @@ class TestCoordinatorReductions:
 class TestDistMetricsInBatchResult:
     """Coordinator-side metrics threaded onto the batch result."""
 
-    def test_serial_and_pool_have_no_dist_metrics(self, fresh_cache):
+    def test_serial_has_no_dist_metrics(self, fresh_cache):
         tasks = _mul_jobs(3)
         assert SerialExecutor().run(tasks).dist_metrics is None
-        assert PoolExecutor(2).run(tasks).dist_metrics is None
+
+    def test_pool_fills_dist_metrics_in_coordinator_shape(self, fresh_cache):
+        """Pool runs report per-worker-process metrics like dist runs do."""
+        metrics = PoolExecutor(2).run(_mul_jobs(5)).dist_metrics
+        assert metrics is not None
+        assert metrics["requeues"] == 0
+        assert metrics["rows_seeded"] == 0
+        assert metrics["loads_served"] == 0
+        assert sum(w["completed"] for w in metrics["workers"]) == 5
+        for snapshot in metrics["workers"]:
+            assert {
+                "worker",
+                "completed",
+                "failed",
+                "seeded_rows",
+                "loads_served",
+                "elapsed",
+                "jobs_per_minute",
+                "idle",
+            } <= set(snapshot)
 
     def test_dist_metrics_report_per_worker_throughput(self, fresh_cache):
         tasks = _mul_jobs(5)
