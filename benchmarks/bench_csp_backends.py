@@ -18,32 +18,35 @@ reference on the heaviest n=3 class, with equal verdicts everywhere.
 Measured locally (see EXPERIMENTS.md): ~8-10x on n=3, ~7x on the n=4
 tail sample.
 
-The last test writes ``BENCH_6.json`` next to this file — the committed
-per-backend perf snapshot, first point of the ROADMAP's perf trajectory.
+Timing goes through :func:`repro.bench.measure` — the same variance
+engine behind ``python -m repro bench run`` — so the numbers quoted
+here and the ones committed to ``benchmarks/BENCH_<rev>.json`` come
+from one code path.  The committed trajectory point itself is produced
+by ``python -m repro bench run --out benchmarks/BENCH_8.json``, not by
+this file; these tests only *gate*.
 """
 
 from __future__ import annotations
 
-import json
-import platform
-import time
-from pathlib import Path
-
 import pytest
 
 import repro.store as store_pkg
+from repro.bench import VarianceConfig, measure
 from repro.engine import KERNEL_CACHE
 from repro.verification import decide_one_round_solvability, sat_available
-
-SNAPSHOT = Path(__file__).resolve().parent / "BENCH_6.json"
-
-#: Filled by the timing tests, serialized by test_write_snapshot (file
-#: order — pytest runs these top to bottom).
-RESULTS: dict[str, dict] = {}
 
 #: The acceptance bound for bitset vs reference on the heaviest n=3
 #: class.  Locally ~8-10x; 3x leaves headroom for loaded CI machines.
 MIN_SPEEDUP = 3.0
+
+#: Cold min-of-2, no warmup — the caches are cleared per repeat, so a
+#: warmup run would measure nothing different from a timed one.
+_COLD_2 = VarianceConfig(
+    warmup=0, min_repeats=2, max_repeats=2, cv_threshold=0.0
+)
+_COLD_1 = VarianceConfig(
+    warmup=0, min_repeats=1, max_repeats=1, cv_threshold=0.0
+)
 
 
 def _heaviest_n3_model():
@@ -81,40 +84,29 @@ def _n4_tail_sample():
     raise AssertionError("no enumerable n=4 tail class")
 
 
-def _time_backend(pool, ks, backend, repeats=2):
-    """Min-of-N cold time for the per-k searches; returns (s, verdicts)."""
-    best = float("inf")
-    verdicts = None
+def _time_backend(pool, ks, backend, config=_COLD_2):
+    """Cold time for the per-k searches; returns (seconds, verdicts).
+
+    Every repeat starts with the kernel cache cleared and the store off
+    (scenario isolation: no contamination between backends or between a
+    cold phase here and a warm phase elsewhere in the pytest process).
+    """
     with store_pkg.RESULT_STORE.disabled():
-        for _ in range(repeats):
-            KERNEL_CACHE.clear()
-            start = time.perf_counter()
-            results = [
+        KERNEL_CACHE.clear()
+        measurement = measure(
+            lambda: [
                 decide_one_round_solvability(pool, k, backend=backend)
                 for k in ks
-            ]
-            best = min(best, time.perf_counter() - start)
-            verdicts = [
-                (r.solvable, r.view_count, r.execution_count) for r in results
-            ]
-            KERNEL_CACHE.clear()
-    return best, verdicts
-
-
-def _record(workload: str, pool, ks, timings: dict, verdicts) -> None:
-    RESULTS[workload] = {
-        "graphs": len(pool),
-        "ks": list(ks),
-        "verdicts": [list(v) for v in verdicts],
-        "seconds": {
-            name: round(seconds, 4) for name, seconds in timings.items()
-        },
-        "speedup_vs_reference": {
-            name: round(timings["reference"] / seconds, 2)
-            for name, seconds in timings.items()
-            if name != "reference" and seconds > 0
-        },
-    }
+            ],
+            config=config,
+            setup=KERNEL_CACHE.clear,
+        )
+        KERNEL_CACHE.clear()
+    verdicts = [
+        (r.solvable, r.view_count, r.execution_count)
+        for r in measurement.value
+    ]
+    return measurement.min, verdicts
 
 
 def test_bitset_acceptance_on_heaviest_n3_class():
@@ -130,12 +122,9 @@ def test_bitset_acceptance_on_heaviest_n3_class():
         f"bitset {bit_time:.3f}s vs reference {ref_time:.3f}s — "
         f"{speedup:.1f}x, need >= {MIN_SPEEDUP}x"
     )
-    timings = {"reference": ref_time, "bitset": bit_time}
     if sat_available():
-        sat_time, sat_verdicts = _time_backend(pool, ks, "sat")
+        _, sat_verdicts = _time_backend(pool, ks, "sat")
         assert [v[0] for v in sat_verdicts] == [v[0] for v in ref_verdicts]
-        timings["sat"] = sat_time
-    _record("n3_heaviest_full_model", pool, ks, timings, ref_verdicts)
 
 
 def test_backends_agree_on_n4_tail_sample():
@@ -144,18 +133,15 @@ def test_backends_agree_on_n4_tail_sample():
     n=3 workload, which CI machines time more stably.)"""
     pool = _n4_tail_sample()
     ks = (1, 2)
-    ref_time, ref_verdicts = _time_backend(pool, ks, "reference", repeats=1)
-    bit_time, bit_verdicts = _time_backend(pool, ks, "bitset", repeats=1)
+    ref_time, ref_verdicts = _time_backend(pool, ks, "reference", _COLD_1)
+    bit_time, bit_verdicts = _time_backend(pool, ks, "bitset", _COLD_1)
     assert bit_verdicts == ref_verdicts
     assert bit_time <= ref_time, (
         f"bitset {bit_time:.3f}s slower than reference {ref_time:.3f}s"
     )
-    timings = {"reference": ref_time, "bitset": bit_time}
     if sat_available():
-        sat_time, sat_verdicts = _time_backend(pool, ks, "sat", repeats=1)
+        _, sat_verdicts = _time_backend(pool, ks, "sat", _COLD_1)
         assert [v[0] for v in sat_verdicts] == [v[0] for v in ref_verdicts]
-        timings["sat"] = sat_time
-    _record("n4_tail_sampled_256", pool, ks, timings, ref_verdicts)
 
 
 @pytest.mark.skipif(not sat_available(), reason="python-sat not installed")
@@ -170,23 +156,3 @@ def test_sat_backend_decides_heaviest_n3_class():
             assert sat.solvable == bit.solvable
             assert sat.execution_count == bit.execution_count
         KERNEL_CACHE.clear()
-
-
-def test_write_snapshot():
-    """Serialize the measured timings as the committed perf snapshot."""
-    assert RESULTS, "timing tests must run before the snapshot is written"
-    payload = {
-        "bench": "csp_backends",
-        "pr": 6,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "acceptance": {
-            "n3_heaviest_min_speedup": MIN_SPEEDUP,
-            "achieved": RESULTS.get("n3_heaviest_full_model", {})
-            .get("speedup_vs_reference", {})
-            .get("bitset"),
-        },
-        "workloads": RESULTS,
-    }
-    SNAPSHOT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    assert SNAPSHOT.exists()

@@ -27,9 +27,11 @@ Acceptance (plain functions, run in CI with ``--benchmark-disable``):
   single-job shard by at least 1.5x with an identical row — the
   load-imbalance scenario dynamic sub-shard scheduling exists for.
 
-Workers are launched *before* the coordinator binds and retry-connect,
-so the measured window contains no interpreter start-up — only queue
-service, job execution, and result streaming.
+Timing goes through :func:`repro.bench.measure` (the ``bench run``
+variance engine): worker spawning and the interpreter head start happen
+in the per-sample ``setup`` hook, *outside* the timed window, so the
+quoted seconds contain only queue service, job execution, and result
+streaming.
 """
 
 from __future__ import annotations
@@ -45,10 +47,20 @@ import pytest
 
 import repro.store as store_pkg
 from repro.analysis.sweeps import solvability_sweep
+from repro.bench import VarianceConfig, measure
 from repro.dist import DistExecutor, PoolExecutor, SerialExecutor
 from repro.engine import KERNEL_CACHE
 
 _SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Cold min-of-2 (no warmup: every sample starts from cleared caches,
+#: so a warmup would just be a third identical cold run).
+_COLD_2 = VarianceConfig(
+    warmup=0, min_repeats=2, max_repeats=2, cv_threshold=0.0
+)
+_COLD_1 = VarianceConfig(
+    warmup=0, min_repeats=1, max_repeats=1, cv_threshold=0.0
+)
 
 
 def _worker_env() -> dict:
@@ -75,14 +87,6 @@ def _spawn_workers(address: tuple[str, int], count: int) -> list:
     ]
 
 
-def _cold_sweep(executor) -> tuple[float, list]:
-    """Run the n=3 frontier cold; returns (wall seconds, rows)."""
-    KERNEL_CACHE.clear()
-    start = time.perf_counter()
-    report = solvability_sweep(3, executor=executor)
-    return time.perf_counter() - start, report.rows
-
-
 def _free_port() -> int:
     probe = socket.socket()
     probe.bind(("127.0.0.1", 0))
@@ -91,25 +95,53 @@ def _free_port() -> int:
     return port
 
 
-def _dist_cold_sweep(workers: int = 2) -> tuple[float, list]:
-    """The distributed counterpart: fresh worker subprocesses each call.
+def _measure_serial_sweep(config=_COLD_2):
+    """Cold serial frontier through the variance engine: (seconds, rows)."""
+    measurement = measure(
+        lambda: solvability_sweep(3, executor=SerialExecutor()).rows,
+        config=config,
+        setup=KERNEL_CACHE.clear,
+    )
+    return measurement.min, measurement.value
 
-    Workers are spawned against a pre-picked port and retry-connect for
-    up to a minute, and get a head start to finish interpreter start-up
-    and imports — the timed window then measures queue service and
-    computation, not ``python`` booting.
+
+def _measure_dist_sweep(workers: int = 2, config=_COLD_2):
+    """The distributed counterpart: fresh worker subprocesses per sample.
+
+    The per-sample ``setup`` hook reaps the previous sample's workers,
+    clears the kernel cache, spawns fresh workers against a pre-picked
+    port (they retry-connect for up to a minute) and gives them a head
+    start for interpreter start-up and imports — the timed window then
+    measures queue service and computation, not ``python`` booting.
     """
-    port = _free_port()
-    spawned = _spawn_workers(("127.0.0.1", port), workers)
-    try:
-        time.sleep(2.0)  # interpreter + import head start, outside the window
-        return _cold_sweep(DistExecutor(f"127.0.0.1:{port}"))
-    finally:
-        for worker in spawned:
+    state: dict = {"spawned": [], "port": None}
+
+    def _reap() -> None:
+        for worker in state["spawned"]:
             try:
                 worker.wait(timeout=30)
             except subprocess.TimeoutExpired:
                 worker.kill()
+        state["spawned"] = []
+
+    def setup() -> None:
+        _reap()
+        KERNEL_CACHE.clear()
+        state["port"] = _free_port()
+        state["spawned"] = _spawn_workers(
+            ("127.0.0.1", state["port"]), workers
+        )
+        time.sleep(2.0)  # interpreter + import head start, off the clock
+
+    def run():
+        executor = DistExecutor(f"127.0.0.1:{state['port']}")
+        return solvability_sweep(3, executor=executor).rows
+
+    try:
+        measurement = measure(run, config=config, setup=setup)
+    finally:
+        _reap()
+    return measurement.min, measurement.value
 
 
 # ----------------------------------------------------------------------
@@ -117,14 +149,22 @@ def _dist_cold_sweep(workers: int = 2) -> tuple[float, list]:
 # ----------------------------------------------------------------------
 
 def test_bench_frontier_serial(benchmark):
+    def once():
+        KERNEL_CACHE.clear()
+        return solvability_sweep(3, executor=SerialExecutor()).rows
+
     with store_pkg.RESULT_STORE.disabled():
-        _, rows = benchmark(_cold_sweep, SerialExecutor())
+        rows = benchmark(once)
     assert len(rows) == 16
 
 
 def test_bench_frontier_dist_two_workers(benchmark):
+    def once():
+        _, rows = _measure_dist_sweep(2, config=_COLD_1)
+        return rows
+
     with store_pkg.RESULT_STORE.disabled():
-        _, rows = benchmark(_dist_cold_sweep, 2)
+        rows = benchmark(once)
     assert len(rows) == 16
 
 
@@ -146,19 +186,10 @@ def test_dist_two_workers_at_least_1_5x_faster_than_serial():
     process enjoys.  CI runs this on multi-core runners.
     """
     with store_pkg.RESULT_STORE.disabled():
-        serial_times = []
-        for _ in range(2):
-            elapsed, serial_rows = _cold_sweep(SerialExecutor())
-            serial_times.append(elapsed)
-        serial = min(serial_times)
-
-        dist_times = []
-        for _ in range(2):
-            elapsed, dist_rows = _dist_cold_sweep(2)
-            dist_times.append(elapsed)
-            assert dist_rows == serial_rows
-        dist = min(dist_times)
+        serial, serial_rows = _measure_serial_sweep()
+        dist, dist_rows = _measure_dist_sweep(2)
     KERNEL_CACHE.clear()
+    assert dist_rows == serial_rows
     assert dist * 1.5 <= serial, (
         f"dist (2 workers) {dist:.2f}s vs serial {serial:.2f}s "
         f"({serial / dist:.2f}x)"
@@ -194,8 +225,10 @@ def test_seeded_dist_beats_unseeded():
             store.flush()
 
             with store.disabled():
-                unseeded, unseeded_rows = _dist_cold_sweep(2)
-            seeded, seeded_rows = _dist_cold_sweep(2)
+                unseeded, unseeded_rows = _measure_dist_sweep(
+                    2, config=_COLD_1
+                )
+            seeded, seeded_rows = _measure_dist_sweep(2, config=_COLD_1)
         finally:
             store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
             KERNEL_CACHE.clear()
@@ -240,38 +273,48 @@ def test_split_subshards_beat_monolithic_on_heaviest_class():
     from repro.analysis.sweeps import plan_sweep, sweep_row
 
     g = _heaviest_n3_class()
-    with store_pkg.RESULT_STORE.disabled():
-        mono_times = []
-        for _ in range(2):
-            KERNEL_CACHE.clear()
-            start = time.perf_counter()
-            mono_row = sweep_row(g, 3)
-            mono_times.append(time.perf_counter() - start)
-        mono = min(mono_times)
+    state: dict = {"spawned": [], "port": None}
 
-        split_times = []
-        for _ in range(2):
-            KERNEL_CACHE.clear()
-            plan = plan_sweep([g], 3, split_threshold=1)
-            port = _free_port()
-            spawned = _spawn_workers(("127.0.0.1", port), 2)
+    def _reap() -> None:
+        for worker in state["spawned"]:
             try:
-                time.sleep(2.0)  # interpreter head start, outside the window
-                start = time.perf_counter()
-                result = DistExecutor(f"127.0.0.1:{port}").run(
-                    list(plan.tasks), reductions=plan.reductions
-                )
-                split_times.append(time.perf_counter() - start)
-            finally:
-                for worker in spawned:
-                    try:
-                        worker.wait(timeout=30)
-                    except subprocess.TimeoutExpired:
-                        worker.kill()
-            (reduced,) = result.reduction_results
-            assert reduced.value == mono_row
-        split = min(split_times)
+                worker.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+        state["spawned"] = []
+
+    def split_setup() -> None:
+        _reap()
+        KERNEL_CACHE.clear()
+        state["port"] = _free_port()
+        state["spawned"] = _spawn_workers(("127.0.0.1", state["port"]), 2)
+        time.sleep(2.0)  # interpreter head start, outside the window
+
+    def split_run():
+        plan = plan_sweep([g], 3, split_threshold=1)
+        result = DistExecutor(f"127.0.0.1:{state['port']}").run(
+            list(plan.tasks), reductions=plan.reductions
+        )
+        (reduced,) = result.reduction_results
+        return reduced.value
+
+    with store_pkg.RESULT_STORE.disabled():
+        mono_measurement = measure(
+            lambda: sweep_row(g, 3),
+            config=_COLD_2,
+            setup=KERNEL_CACHE.clear,
+        )
+        mono, mono_row = mono_measurement.min, mono_measurement.value
+
+        try:
+            split_measurement = measure(
+                split_run, config=_COLD_2, setup=split_setup
+            )
+        finally:
+            _reap()
+        split, split_row = split_measurement.min, split_measurement.value
     KERNEL_CACHE.clear()
+    assert split_row == mono_row
     assert split * 1.5 <= mono, (
         f"split (2 workers) {split:.2f}s vs monolithic {mono:.2f}s "
         f"({mono / split:.2f}x)"
@@ -284,6 +327,6 @@ def test_dist_matches_pool_rows():
         KERNEL_CACHE.clear()
         pool = solvability_sweep(3, limit=8, executor=PoolExecutor(2))
         KERNEL_CACHE.clear()
-        _, dist_rows = _dist_cold_sweep(2)
+        _, dist_rows = _measure_dist_sweep(2, config=_COLD_1)
     KERNEL_CACHE.clear()
     assert dist_rows[:8] == pool.rows

@@ -81,7 +81,7 @@ from .graphs import Digraph
 from .models import ClosedAboveModel, simple_closed_above, symmetric_closed_above
 from .verification import decide_one_round_solvability, verify_algorithm
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Digraph",

@@ -1,0 +1,180 @@
+"""Diff two trajectory points; the regression gate behind ``bench compare``.
+
+Cells are matched by ``(scenario, cell id)`` — the matrix coordinates —
+and judged on their **median** seconds: the median is what the variance
+engine stabilised, so it is the only statistic fair to gate on (min
+rewards lucky runs, mean punishes one outlier).  A cell whose new median
+exceeds the old by more than ``tolerance`` is a *regression*; a cell
+whose embedded workload ``result`` changed at all is *drift* — a
+correctness failure dressed as a benchmark, reported separately and
+fatally.  Cells present on only one side are listed but never fail the
+gate: the matrix is allowed to grow.
+
+Schema discipline: :func:`load_snapshot` refuses files that fail
+:func:`~repro.bench.harness.validate_snapshot`, and comparing across
+schema versions raises :class:`BenchFormatError` — CI exit code 2,
+distinct from a genuine regression's exit code 1.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .harness import SCHEMA, validate_snapshot
+
+__all__ = [
+    "BenchFormatError",
+    "compare_snapshots",
+    "describe_comparison",
+    "load_snapshot",
+]
+
+#: Default headroom before a slower median counts as a regression: wide
+#: enough for shared CI runners, tight enough to catch a real 2x cliff.
+DEFAULT_TOLERANCE = 0.25
+
+
+class BenchFormatError(Exception):
+    """A snapshot failed validation or the schema versions mismatch."""
+
+
+def load_snapshot(path: str) -> dict:
+    """Read and validate one trajectory point; raise on anything invalid."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise BenchFormatError(f"{path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(f"{path}: not JSON ({exc})") from exc
+    problems = validate_snapshot(payload)
+    if problems:
+        raise BenchFormatError(
+            f"{path}: not a valid {SCHEMA} snapshot: " + "; ".join(problems)
+        )
+    return payload
+
+
+def _cells_by_key(payload: dict) -> dict:
+    return {
+        (cell["scenario"], cell["id"]): cell for cell in payload["cells"]
+    }
+
+
+def compare_snapshots(
+    old: dict, new: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> dict:
+    """Compare two validated snapshots; returns the full comparison report.
+
+    ``tolerance`` is a fraction (0.25 = 25% headroom).  The report's
+    ``ok`` is False exactly when a common cell regressed or drifted.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    old_schema = old.get("schema")
+    new_schema = new.get("schema")
+    if old_schema != new_schema:
+        raise BenchFormatError(
+            f"schema mismatch: old snapshot is {old_schema!r}, new is "
+            f"{new_schema!r} — regenerate the older point before comparing"
+        )
+    old_cells = _cells_by_key(old)
+    new_cells = _cells_by_key(new)
+    compared: list[dict] = []
+    regressions: list[dict] = []
+    drift: list[dict] = []
+    for key in sorted(old_cells.keys() & new_cells.keys()):
+        scenario, cell_id = key
+        before = old_cells[key]
+        after = new_cells[key]
+        old_median = float(before["seconds"]["median"])
+        new_median = float(after["seconds"]["median"])
+        ratio = (new_median / old_median) if old_median > 0 else None
+        regressed = (
+            old_median > 0 and new_median > old_median * (1.0 + tolerance)
+        )
+        row = {
+            "scenario": scenario,
+            "id": cell_id,
+            "old_median": old_median,
+            "new_median": new_median,
+            "ratio": ratio,
+            "regressed": regressed,
+        }
+        compared.append(row)
+        if regressed:
+            regressions.append(row)
+        if (
+            before.get("result") is not None
+            and after.get("result") is not None
+            and before["result"] != after["result"]
+        ):
+            drift.append(
+                {
+                    "scenario": scenario,
+                    "id": cell_id,
+                    "old_result": before["result"],
+                    "new_result": after["result"],
+                }
+            )
+    return {
+        "old_revision": old.get("revision"),
+        "new_revision": new.get("revision"),
+        "tolerance": tolerance,
+        "compared": compared,
+        "regressions": regressions,
+        "drift": drift,
+        "only_old": [
+            {"scenario": s, "id": i}
+            for s, i in sorted(old_cells.keys() - new_cells.keys())
+        ],
+        "only_new": [
+            {"scenario": s, "id": i}
+            for s, i in sorted(new_cells.keys() - old_cells.keys())
+        ],
+        "ok": not regressions and not drift,
+    }
+
+
+def describe_comparison(report: dict) -> str:
+    """Human-readable rendering of :func:`compare_snapshots` output."""
+    lines = [
+        f"bench compare: {report['old_revision']} -> "
+        f"{report['new_revision']} "
+        f"({len(report['compared'])} common cell(s), tolerance "
+        f"{report['tolerance'] * 100:.0f}%)"
+    ]
+    for row in report["compared"]:
+        ratio = (
+            f"{row['ratio']:.2f}x" if row["ratio"] is not None else "n/a"
+        )
+        marker = "  REGRESSION" if row["regressed"] else ""
+        lines.append(
+            f"  {row['scenario']} [{row['id']}]: "
+            f"{row['old_median']:.3f}s -> {row['new_median']:.3f}s "
+            f"({ratio}){marker}"
+        )
+    for entry in report["drift"]:
+        lines.append(
+            f"  {entry['scenario']} [{entry['id']}]: RESULT DRIFT — "
+            f"the workload's answer changed between revisions"
+        )
+    if report["only_old"]:
+        dropped = ", ".join(
+            f"{e['scenario']}[{e['id']}]" for e in report["only_old"]
+        )
+        lines.append(f"  cells only in the old point: {dropped}")
+    if report["only_new"]:
+        added = ", ".join(
+            f"{e['scenario']}[{e['id']}]" for e in report["only_new"]
+        )
+        lines.append(f"  cells only in the new point: {added}")
+    lines.append(
+        "PASS: no regressions"
+        if report["ok"]
+        else (
+            f"FAIL: {len(report['regressions'])} regression(s), "
+            f"{len(report['drift'])} drifted result(s)"
+        )
+    )
+    return "\n".join(lines)

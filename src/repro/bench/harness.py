@@ -1,0 +1,239 @@
+"""The bench runner: measure every cell, attribute it, snapshot it.
+
+One :func:`run_bench` call executes the selected scenarios' matrix
+cells through the variance engine (:mod:`repro.bench.variance`) and
+emits a **schema-versioned trajectory point** — the JSON committed as
+``benchmarks/BENCH_<rev>.json`` and diffed by ``bench compare``.
+
+Each cell is measured twice over:
+
+* the *timed* repeats run untraced (tracing's per-span bookkeeping is
+  small but nonzero; the quoted seconds stay honest);
+* one extra *attributed* run executes with the tracer buffering
+  in-process, and its :func:`repro.obs.summarize_events` digest — tier
+  hit rates, self-time by category, straggler gap — is embedded under
+  the cell's ``obs`` key, so the committed trajectory records *why* a
+  number is what it is, not only that it is.
+
+The snapshot schema (:data:`SCHEMA`) is part of the contract:
+``bench compare`` refuses to diff across schema versions, and
+:func:`validate_snapshot` is the single source of truth CI's
+``bench-smoke`` job asserts against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+
+from ..obs import summarize_events
+from ..obs.trace import TRACER
+from .scenarios import CellRun, select_scenarios
+from .variance import (
+    DEFAULT_CONFIG,
+    QUICK_CONFIG,
+    Measurement,
+    VarianceConfig,
+    measure,
+)
+
+__all__ = [
+    "SCHEMA",
+    "list_scenarios",
+    "run_bench",
+    "validate_snapshot",
+    "write_snapshot",
+]
+
+#: Snapshot schema identifier.  Bump the suffix on any incompatible
+#: change to the cell shape — compare refuses cross-schema diffs.
+SCHEMA = "repro-bench/1"
+
+#: The trace-summary keys a cell embeds (the condensed attribution; the
+#: full summary is a ``trace summary`` away for anyone holding a file).
+_OBS_KEYS = (
+    "wall",
+    "kernel_calls",
+    "tier_counts",
+    "tier_rates",
+    "self_by_category",
+)
+
+
+def _traced_once(run: CellRun) -> dict:
+    """One extra run with the tracer buffering; returns the obs digest.
+
+    The tracer is borrowed, not owned: previous enabled/path state is
+    restored and any events already buffered by the surrounding process
+    (a ``--trace`` CLI run) are put back afterwards.
+    """
+    previous_enabled = TRACER.enabled
+    previous_path = TRACER.path
+    stashed = TRACER.drain()
+    TRACER.enabled = True
+    TRACER.path = None
+    try:
+        if run.setup is not None:
+            run.setup()
+        run.fn()
+        events = TRACER.drain()
+    finally:
+        TRACER.enabled = previous_enabled
+        TRACER.path = previous_path
+        TRACER.absorb(stashed)
+    summary = summarize_events(events)
+    digest = {key: summary[key] for key in _OBS_KEYS}
+    straggler = summary.get("straggler")
+    digest["straggler_gap"] = straggler["gap"] if straggler else None
+    return digest
+
+
+def _run_cell(scenario, run: CellRun, config: VarianceConfig) -> dict:
+    if run.prepare is not None:
+        run.prepare()
+    try:
+        measurement: Measurement = measure(
+            run.fn, config=config, setup=run.setup
+        )
+        obs = _traced_once(run)
+    finally:
+        if run.cleanup is not None:
+            run.cleanup()
+    return {
+        "scenario": scenario.name,
+        "id": run.cell.cell_id,
+        "cell": run.cell.to_dict(),
+        "repeats": measurement.repeats,
+        "warmups": len(measurement.warmups),
+        "converged": measurement.converged,
+        "seconds": measurement.seconds_dict(),
+        "obs": obs,
+        "result": measurement.value,
+    }
+
+
+def run_bench(
+    names=None,
+    *,
+    quick: bool = False,
+    config: VarianceConfig | None = None,
+    revision: str = "BENCH_8",
+    progress=None,
+) -> dict:
+    """Run the selected scenarios' matrix and return the trajectory point.
+
+    ``quick`` restricts every scenario to its quick cells and drops the
+    repeat budget to :data:`QUICK_CONFIG` (unless ``config`` overrides
+    it); ``progress`` is an optional callable receiving one line per
+    cell as it lands (the CLI wires ``print`` to stderr through it).
+    """
+    scenarios = select_scenarios(names)
+    if config is None:
+        config = QUICK_CONFIG if quick else DEFAULT_CONFIG
+    cells = []
+    for scenario in scenarios:
+        for cell in scenario.matrix(quick):
+            run = scenario.build(cell)
+            record = _run_cell(scenario, run, config)
+            cells.append(record)
+            if progress is not None:
+                progress(
+                    f"{scenario.name} [{cell.cell_id}]: "
+                    f"median {record['seconds']['median']:.3f}s "
+                    f"(cv {record['seconds']['cv']:.2f}, "
+                    f"{record['repeats']} repeat(s))"
+                )
+    return {
+        "schema": SCHEMA,
+        "revision": revision,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "config": config.to_dict(),
+        "cells": cells,
+    }
+
+
+def validate_snapshot(payload) -> list[str]:
+    """Problems making ``payload`` an invalid trajectory point (empty = ok).
+
+    The single schema authority: ``bench compare``'s loader and CI's
+    ``bench-smoke`` assertion block both call this, so "valid" cannot
+    mean different things in different places.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["snapshot is not a JSON object"]
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        problems.append(f"schema is {schema!r}, expected {SCHEMA!r}")
+    if not isinstance(payload.get("revision"), str):
+        problems.append("missing revision string")
+    cells = payload.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return problems + ["cells must be a non-empty list"]
+    seen: set[tuple[str, str]] = set()
+    for position, cell in enumerate(cells):
+        where = f"cells[{position}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("scenario", "id"):
+            if not isinstance(cell.get(key), str):
+                problems.append(f"{where}: missing {key!r}")
+        pair = (str(cell.get("scenario")), str(cell.get("id")))
+        if pair in seen:
+            problems.append(f"{where}: duplicate cell {pair}")
+        seen.add(pair)
+        if not isinstance(cell.get("repeats"), int) or cell.get(
+            "repeats", 0
+        ) < 1:
+            problems.append(f"{where}: repeats must be a positive int")
+        seconds = cell.get("seconds")
+        if not isinstance(seconds, dict):
+            problems.append(f"{where}: missing seconds object")
+            continue
+        for stat in ("min", "median", "mean", "iqr", "cv"):
+            if not isinstance(seconds.get(stat), (int, float)):
+                problems.append(f"{where}: seconds.{stat} missing")
+        samples = seconds.get("samples")
+        if not isinstance(samples, list) or not samples:
+            problems.append(f"{where}: seconds.samples must be non-empty")
+        obs = cell.get("obs")
+        if obs is not None and not isinstance(obs, dict):
+            problems.append(f"{where}: obs must be an object or null")
+    return problems
+
+
+def write_snapshot(payload: dict, path: str) -> None:
+    """Write one trajectory point as stable, diff-friendly JSON (atomic)."""
+    problems = validate_snapshot(payload)
+    if problems:
+        raise ValueError(
+            "refusing to write an invalid snapshot: " + "; ".join(problems)
+        )
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".bench-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def list_scenarios(names=None, *, quick: bool = False) -> list[dict]:
+    """The registry as JSON: what ``bench list`` prints and CI consumes."""
+    return [
+        scenario.to_dict(quick) for scenario in select_scenarios(names)
+    ]

@@ -1,0 +1,214 @@
+"""Variance-aware repeated measurement: the harness's timing engine.
+
+Single-shot timings (the ``min of 2 cold runs`` idiom the earlier
+``benchmarks/bench_*.py`` scripts used) conflate a workload's cost with
+whatever else the machine was doing during those two runs.  This module
+measures the way a perf trajectory needs: ``warmup`` untimed runs first
+(JIT-free Python still warms allocators, page caches, and import state),
+then timed repeats until the **coefficient of variation** (sample
+standard deviation over mean) drops below a threshold or a repeat cap is
+hit — so quiet machines stop early and noisy ones keep sampling, and
+every recorded cell carries its own noise estimate alongside the value.
+
+Everything is injectable for determinism: ``clock`` replaces
+``time.perf_counter`` (the tests drive a fake clock through exact CV
+trajectories) and ``setup`` runs before *every* run, outside the timed
+window — the hook cell builders use to reset the kernel cache or point
+the store at a fresh file, so repeats are independent cold runs instead
+of accidentally-warm reruns.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "QUICK_CONFIG",
+    "Measurement",
+    "VarianceConfig",
+    "measure",
+    "quantile",
+]
+
+
+@dataclass(frozen=True)
+class VarianceConfig:
+    """Knobs of one adaptive measurement.
+
+    ``warmup`` untimed runs, then at least ``min_repeats`` timed ones;
+    sampling continues until the CV is at most ``cv_threshold`` or
+    ``max_repeats`` samples exist.  ``min_repeats >= 2`` keeps the CV
+    meaningful (a single sample has no spread to judge); a zero
+    ``cv_threshold`` with ``min_repeats == max_repeats`` expresses a
+    fixed repeat count (the old ``min of N`` idiom, adaptivity off).
+    """
+
+    warmup: int = 1
+    min_repeats: int = 3
+    max_repeats: int = 10
+    cv_threshold: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.min_repeats < 1:
+            raise ValueError(
+                f"min_repeats must be >= 1, got {self.min_repeats}"
+            )
+        if self.max_repeats < self.min_repeats:
+            raise ValueError(
+                f"max_repeats ({self.max_repeats}) must be >= min_repeats "
+                f"({self.min_repeats})"
+            )
+        if self.cv_threshold < 0:
+            raise ValueError(
+                f"cv_threshold must be >= 0, got {self.cv_threshold}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "warmup": self.warmup,
+            "min_repeats": self.min_repeats,
+            "max_repeats": self.max_repeats,
+            "cv_threshold": self.cv_threshold,
+        }
+
+
+#: The full-run defaults: enough repeats to quote a stable median.
+DEFAULT_CONFIG = VarianceConfig()
+
+#: ``bench run --quick``: two repeats, no convergence loop to speak of —
+#: the CI smoke profile, where schema validity matters more than noise.
+QUICK_CONFIG = VarianceConfig(
+    warmup=1, min_repeats=2, max_repeats=3, cv_threshold=0.25
+)
+
+
+def quantile(samples, q: float) -> float:
+    """Linear-interpolated quantile of ``samples`` (numpy's default).
+
+    ``q`` in ``[0, 1]``; a single sample is every quantile of itself.
+    """
+    xs = sorted(samples)
+    if not xs:
+        raise ValueError("quantile of an empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if len(xs) == 1:
+        return float(xs[0])
+    position = q * (len(xs) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    fraction = position - lower
+    return float(xs[lower] * (1.0 - fraction) + xs[upper] * fraction)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One cell's timing record: the raw samples plus derived statistics.
+
+    ``value`` is whatever the measured callable returned on its *last*
+    timed run — the workload's result, which the harness embeds so a
+    trajectory point can detect result drift, not just slowdowns.
+    """
+
+    samples: tuple[float, ...]
+    warmups: tuple[float, ...] = ()
+    converged: bool = False
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("a Measurement needs at least one sample")
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples)
+
+    @property
+    def min(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def median(self) -> float:
+        return float(statistics.median(self.samples))
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range — the robust spread the median pairs with."""
+        return quantile(self.samples, 0.75) - quantile(self.samples, 0.25)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation: sample stdev over mean (0 if single)."""
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        if mean <= 0.0:
+            return 0.0
+        return statistics.stdev(self.samples) / mean
+
+    def seconds_dict(self) -> dict:
+        """The JSON shape one bench cell records under ``seconds``."""
+        return {
+            "min": self.min,
+            "median": self.median,
+            "mean": self.mean,
+            "iqr": self.iqr,
+            "cv": self.cv,
+            "samples": list(self.samples),
+        }
+
+
+def measure(
+    fn: Callable[[], object],
+    *,
+    config: VarianceConfig | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+    setup: Callable[[], None] | None = None,
+) -> Measurement:
+    """Measure ``fn``'s wall-clock with warmups then adaptive repeats.
+
+    ``setup`` runs before every run — warmup or timed — outside the
+    timed window; ``clock`` is sampled immediately around each ``fn()``
+    call.  Convergence is checked once ``min_repeats`` samples exist:
+    the loop stops early when the running CV is within
+    ``config.cv_threshold``, else continues to ``max_repeats``.
+    """
+    config = config or DEFAULT_CONFIG
+    warmups: list[float] = []
+    for _ in range(config.warmup):
+        if setup is not None:
+            setup()
+        started = clock()
+        fn()
+        warmups.append(clock() - started)
+    samples: list[float] = []
+    value: object = None
+    converged = False
+    while len(samples) < config.max_repeats:
+        if setup is not None:
+            setup()
+        started = clock()
+        value = fn()
+        samples.append(clock() - started)
+        if len(samples) >= config.min_repeats:
+            current = Measurement(tuple(samples))
+            if current.cv <= config.cv_threshold:
+                converged = True
+                break
+    return Measurement(
+        samples=tuple(samples),
+        warmups=tuple(warmups),
+        converged=converged,
+        value=value,
+    )

@@ -37,6 +37,7 @@ from .metrics import METRICS, Counter, Histogram, MetricsRegistry
 from .export import (
     describe_summary,
     load_trace,
+    summarize_events,
     summarize_trace,
     write_chrome_trace,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "write_chrome_trace",
     "load_trace",
     "summarize_trace",
+    "summarize_events",
     "describe_summary",
 ]
 

@@ -29,6 +29,7 @@ __all__ = [
     "write_chrome_trace",
     "load_trace",
     "summarize_trace",
+    "summarize_events",
     "describe_summary",
 ]
 
@@ -265,14 +266,20 @@ def summarize_trace(events) -> dict:
         instant_counts[i.get("name", "?")] = instant_counts.get(i.get("name", "?"), 0) + 1
 
     categories: dict[str, int] = {}
+    self_by_category: dict[str, float] = {}
     for s in spans:
-        categories[s.get("cat", "span")] = categories.get(s.get("cat", "span"), 0) + 1
+        cat = s.get("cat", "span")
+        categories[cat] = categories.get(cat, 0) + 1
+        self_by_category[cat] = (
+            self_by_category.get(cat, 0.0) + max(self_us[id(s)], 0.0) / _US
+        )
 
     return {
         "events": len(spans) + len(instants),
         "spans": len(spans),
         "instants": dict(sorted(instant_counts.items())),
         "categories": dict(sorted(categories.items())),
+        "self_by_category": dict(sorted(self_by_category.items())),
         "wall": wall,
         "self_total": sum(max(v, 0.0) for v in self_us.values()) / _US,
         "kernel_calls": kernel_calls,
@@ -282,6 +289,18 @@ def summarize_trace(events) -> dict:
         "workers": worker_rows,
         "straggler": straggler,
     }
+
+
+def summarize_events(events) -> dict:
+    """Aggregate *buffered tracer events* (seconds timestamps) directly.
+
+    The in-process counterpart of :func:`summarize_trace`: convert the
+    tracer's drained buffer through the same Chrome-record path the file
+    export uses, then aggregate — so a live summary (the bench harness's
+    per-cell attribution) and an offline ``trace summary`` of the written
+    file can never disagree.
+    """
+    return summarize_trace(_chrome_events(list(events)))
 
 
 def _pct(value: float) -> str:
