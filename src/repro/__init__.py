@@ -76,12 +76,19 @@ Batch variant (identical results for any ``jobs``)::
 
 from .agreement import FloodMin, KSetAgreement, MinOfDominatingSet, execute
 from .bounds import Bound, BoundKind, BoundReport, bound_report, bound_report_many
+from .config import (
+    ExecutorConfig,
+    ServeConfig,
+    StoreConfig,
+    SweepConfig,
+    config_fingerprint,
+)
 from .engine import Job, KernelCache, run_batch
 from .graphs import Digraph
 from .models import ClosedAboveModel, simple_closed_above, symmetric_closed_above
 from .verification import decide_one_round_solvability, verify_algorithm
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Digraph",
@@ -100,6 +107,11 @@ __all__ = [
     "Job",
     "KernelCache",
     "run_batch",
+    "ExecutorConfig",
+    "StoreConfig",
+    "SweepConfig",
+    "ServeConfig",
+    "config_fingerprint",
     "decide_one_round_solvability",
     "verify_algorithm",
     "__version__",

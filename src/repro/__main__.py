@@ -76,23 +76,19 @@ from .graphs import Digraph, symmetric_closure
 from .models import simple_closed_above, symmetric_closed_above
 from .verification import decide_one_round_solvability, verify_algorithm
 
-_FAMILIES = (
-    "star", "cycle", "bidirectional_cycle", "path", "wheel",
-    "out_tree", "in_tree", "tournament", "complete_graph", "empty_graph",
-    "union_of_stars",
-)
+_FAMILIES = graph_families.FAMILY_NAMES
 
 
 def _build_graph(args: argparse.Namespace) -> Digraph:
-    if args.family not in _FAMILIES:
-        raise SystemExit(
-            f"unknown family {args.family!r}; choose from {', '.join(_FAMILIES)}"
-        )
-    constructor = getattr(graph_families, args.family)
+    from .errors import GraphError
+
+    centers = None
     if args.family == "union_of_stars":
         centers = tuple(int(c) for c in (args.centers or "0").split(","))
-        return constructor(args.n, centers)
-    return constructor(args.n)
+    try:
+        return graph_families.build_family(args.family, args.n, centers)
+    except GraphError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _generators(args: argparse.Namespace) -> list[Digraph]:
@@ -154,19 +150,23 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _executor_for(args: argparse.Namespace):
-    """Executor from ``--jobs`` / ``--distributed`` (None = plain jobs)."""
+    """Executor from ``--jobs`` / ``--distributed`` (None = plain jobs).
+
+    One chokepoint: the namespace is lifted onto an
+    :class:`repro.config.ExecutorConfig` and the executor built from it,
+    so the CLI and programmatic surfaces cannot drift.
+    """
     if getattr(args, "distributed", None) is None:
         return None
-    from .dist import make_executor
-    from .errors import DistError
+    from .config import ExecutorConfig
+    from .errors import ConfigError, DistError
 
     try:
-        return make_executor(
-            distributed=args.distributed,
-            seed_store=getattr(args, "seed_store", "on") != "off",
+        config = ExecutorConfig.from_args(args)
+        return config.make(
             log=lambda message: print(f"[dist] {message}", file=sys.stderr),
         )
-    except DistError as exc:
+    except (ConfigError, DistError) as exc:
         raise SystemExit(f"--distributed: {exc}") from exc
 
 
@@ -233,21 +233,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"--split-threshold must be a positive integer, "
             f"got {args.split_threshold}"
         )
+    from .config import SweepConfig
+    from .errors import ConfigError
+
     trace_path = _start_trace(args)
-    report = solvability_sweep(
-        args.n,
-        jobs=args.jobs,
-        limit=args.limit,
-        budget=args.budget,
-        executor=_executor_for(args),
-        split_threshold=args.split_threshold,
-        subshard=args.subshard != "off",
-        backend=args.backend,
-        cost_model=args.cost_model,
-    )
+    try:
+        config = SweepConfig.from_args(args)
+    except ConfigError as exc:
+        raise SystemExit(f"sweep: {exc}") from exc
+    report = solvability_sweep(config=config, executor=_executor_for(args))
     if args.json:
         payload = {
             "n": report.n,
+            "config": report.config_fingerprint,
             "total_classes": report.total_classes,
             "sharded": report.sharded,
             "resumed": report.resumed,
@@ -358,6 +356,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .config import ServeConfig
+    from .errors import ConfigError, DistError, VerificationError
+    from .serve import ServeService
+
+    try:
+        config = ServeConfig.from_args(args)
+    except ConfigError as exc:
+        raise SystemExit(f"serve: {exc}") from exc
+    try:
+        service = ServeService(
+            config,
+            log=lambda message: print(f"[serve] {message}", file=sys.stderr),
+        ).start()
+    except (ConfigError, DistError, VerificationError, OSError) as exc:
+        raise SystemExit(f"serve: {exc}") from exc
+    try:
+        host, port = service.http_address
+        dist_host, dist_port = service.dist_address
+        print(
+            f"serve: queries on http://{host}:{port} "
+            f"(try: curl -s http://{host}:{port}/v1/status), "
+            f"workers connect to {dist_host}:{dist_port}",
+            file=sys.stderr,
+        )
+        while service.alive:
+            _time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("serve: shutting down", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_worker(args: argparse.Namespace) -> int:
     from .dist import parse_address, run_workers
     from .errors import DistError
@@ -410,7 +444,7 @@ def _render_dist_status(address: str, status: dict) -> str:
 
 
 def cmd_dist(args: argparse.Namespace) -> int:
-    from .dist import probe_status, watch_status
+    from .dist import probe_status, render_status_json, watch_status
     from .errors import DistError
 
     # argparse restricts action to "status" already.
@@ -433,7 +467,7 @@ def cmd_dist(args: argparse.Namespace) -> int:
     except DistError as exc:
         raise SystemExit(f"dist status: {exc}") from exc
     if args.json:
-        print(json.dumps(status, indent=2))
+        print(render_status_json(status, indent=2))
         return 0
     print(_render_dist_status(args.address, status))
     return 0
@@ -673,6 +707,45 @@ def main(argv: list[str] | None = None) -> int:
     add_distributed_arg(p_exp)
     add_trace_arg(p_exp)
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="persistent solvability query service: answer HTTP/JSON "
+        "queries from banked results synchronously, enqueue cold ones "
+        "on an embedded coordinator and poll them by job id",
+    )
+    p_serve.add_argument(
+        "--http", metavar="HOST:PORT", default="127.0.0.1:8080",
+        help="HTTP listen address for queries (':PORT' binds 127.0.0.1; "
+        "default: 127.0.0.1:8080)",
+    )
+    p_serve.add_argument(
+        "--distributed", metavar="HOST:PORT", default=None,
+        help="also publish the coordinator's worker port here so external "
+        "'python -m repro worker' processes can serve cold queries "
+        "(default: an ephemeral localhost port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="in-process worker threads answering cold queries "
+        "(default: 1; 0 relies entirely on external workers)",
+    )
+    p_serve.add_argument(
+        "--budget", type=int, default=1 << 12,
+        help="default enumeration budget for queries that omit one",
+    )
+    p_serve.add_argument(
+        "--store", choices=("off", "ro", "rw"), default="off",
+        help="persistent result store mode for the service process "
+        "(default: off — queries are then answered from the in-memory "
+        "kernel cache only)",
+    )
+    p_serve.add_argument(
+        "--store-path", metavar="FILE", default=None,
+        help="store database path (default: the store's own default)",
+    )
+    add_backend_arg(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_worker = sub.add_parser(
         "worker",

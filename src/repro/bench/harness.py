@@ -101,10 +101,16 @@ def _run_cell(scenario, run: CellRun, config: VarianceConfig) -> dict:
     finally:
         if run.cleanup is not None:
             run.cleanup()
+    from ..config import config_fingerprint
+
     return {
         "scenario": scenario.name,
         "id": run.cell.cell_id,
         "cell": run.cell.to_dict(),
+        # The run-identity digest (see repro.config): two trajectory
+        # points are comparable exactly when their cell fingerprints
+        # match, the same stamp sweeps put in traces and JSON reports.
+        "config": config_fingerprint(run.cell.to_dict()),
         "repeats": measurement.repeats,
         "warmups": len(measurement.warmups),
         "converged": measurement.converged,

@@ -41,6 +41,7 @@ from .executor import (
     make_executor,
     parse_address,
     probe_status,
+    render_status_json,
     watch_status,
 )
 from .coordinator import Coordinator
@@ -60,6 +61,7 @@ __all__ = [
     "make_executor",
     "parse_address",
     "probe_status",
+    "render_status_json",
     "run_worker",
     "run_workers",
     "watch_status",

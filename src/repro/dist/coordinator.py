@@ -29,11 +29,34 @@ on the expensive tail instead of stranding one worker on a giant class
 while the rest drain trivia.  Two-phase plans (``reductions=``) fire each
 reduction in this process the moment its last input job lands; see
 :class:`~repro.engine.batch.Reduction`.
+
+Concurrency model (since the :mod:`repro.serve` arc): one
+``selectors``-based event loop thread multiplexes every connection —
+worker frames, status probes, seed streaming, and any *frontend*
+listeners (the HTTP query service) — over non-blocking sockets with
+per-connection read/write buffers.  The thread-per-connection design it
+replaced spent one OS thread per worker; the event loop spends one,
+total, which is what lets a long-lived coordinator also carry thousands
+of short query connections.  Lease expiry (the old monitor thread) rides
+the loop's select timeout.  All queue state transitions still happen
+under one lock, so the public snapshot/probe surface is unchanged.
+
+Two additions for the serve arc, both off by default:
+
+* ``persistent=True`` keeps the queue open when it drains — idle workers
+  poll (``wait``) instead of being released (``done``), and
+  :meth:`Coordinator.submit` enqueues new jobs at any time;
+* ``frontends=[(host, port, factory)]`` binds extra listener sockets
+  whose connections speak *your* protocol: ``factory()`` returns a
+  per-connection handler with ``feed(data) -> bytes`` and a ``done``
+  flag.  The HTTP front end of :mod:`repro.serve` is one of these; the
+  coordinator knows nothing about HTTP.
 """
 
 from __future__ import annotations
 
 import os
+import selectors
 import socket
 import threading
 import time
@@ -58,16 +81,30 @@ from ..obs.trace import TRACER
 from .protocol import (
     DIST_STATUS,
     DIST_STATUS_REPLY,
+    MAX_FRAME,
     PROTOCOL_VERSION,
     STORE_LOAD,
     STORE_LOAD_RESULT,
     STORE_SEED,
     ProtocolError,
-    recv_message,
-    send_message,
+    _HEADER,
+    decode_message,
+    encode_message,
 )
 
 __all__ = ["Coordinator"]
+
+#: Seed streaming back-pressure: the loop tops a connection's write
+#: buffer up with more seed chunks only while it holds less than this.
+_SEED_LOW_WATER = 1 << 18
+
+#: Seconds a post-``done`` connection may take to deliver its farewell
+#: ``delta``/``bye`` before being closed anyway (wedged worker).
+_FAREWELL_GRACE = 5.0
+
+#: Seconds :meth:`Coordinator.close` lets in-flight farewells and write
+#: buffers finish before force-closing every connection.
+_CLOSE_GRACE = 1.5
 
 
 @dataclass
@@ -103,6 +140,42 @@ class _WorkerInfo:
         }
 
 
+class _Conn:
+    """One multiplexed connection: socket, buffers, protocol state.
+
+    ``kind`` starts as ``"dist"`` (frame protocol: a worker or a status
+    probe — distinguished by its first frame) or ``"frontend"`` (owned by
+    a frontend handler).  The per-connection state that used to live in
+    ``_serve_connection``'s stack frame lives here instead.
+    """
+
+    __slots__ = (
+        "sock", "peer", "kind", "inbuf", "outbuf", "owner", "held",
+        "worker_name", "local", "info", "seed_iter", "seeded",
+        "handshaken", "draining", "deadline", "close_after_flush",
+        "frontend",
+    )
+
+    def __init__(self, sock: socket.socket, peer: str, kind: str):
+        self.sock = sock
+        self.peer = peer
+        self.kind = kind
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.owner = 0
+        self.held: set[int] = set()
+        self.worker_name = peer
+        self.local = False
+        self.info: _WorkerInfo | None = None
+        self.seed_iter = None
+        self.seeded = 0
+        self.handshaken = False
+        self.draining = False
+        self.deadline: float | None = None
+        self.close_after_flush = False
+        self.frontend = None
+
+
 class Coordinator:
     """Serve a batch of jobs to TCP workers and collect their results.
 
@@ -132,7 +205,11 @@ class Coordinator:
         the store's rows (current kernel versions only, chunked) land in
         the worker's in-memory seed tier, so hosts without a shared
         filesystem start as warm as the coordinator.  Seeding is
-        read-only; the single-writer invariant is untouched.
+        read-only; the single-writer invariant is untouched.  A worker
+        whose ``hello`` carries a ``seed_digest`` (per-kernel content
+        digests of the rows it already holds) is seeded *incrementally*:
+        kernels whose digest matches this store's are skipped entirely,
+        so a reconnecting worker pays only for rows it does not have.
     remote_loads:
         Whether workers may resolve store misses with ``store_load``
         round trips against this coordinator's store mid-run (results
@@ -149,6 +226,23 @@ class Coordinator:
         — the moment the last of its input jobs completes, while other
         workers keep pulling phase-1 jobs.  Workers never see reductions,
         so the wire protocol is untouched.
+    persistent:
+        Keep serving when the queue drains: workers are parked on
+        ``wait`` instead of released with ``done``, and
+        :meth:`submit` may enqueue jobs at any time.  ``serve()`` never
+        returns in this mode; the owner drives lifecycle via
+        ``start()``/``close()`` and consumes results through
+        ``on_complete``.  This is the engine of ``python -m repro serve``.
+    on_complete:
+        Optional ``(index, outcome)`` callback fired (on the event-loop
+        thread, after the store flush) for every *accepted* completion —
+        dropped duplicates do not fire it.
+    frontends:
+        Extra listeners: ``(host, port, factory)`` triples.  Accepted
+        connections call ``handler = factory()`` and feed it raw bytes;
+        whatever ``handler.feed(data)`` returns is written back, and the
+        connection closes once ``handler.done`` is true and the buffer
+        drains.  See :mod:`repro.serve` for the HTTP frontend.
     log:
         Optional callable receiving one-line progress strings (worker
         connects/disconnects, requeues); silent when ``None``.
@@ -167,6 +261,9 @@ class Coordinator:
         remote_loads: bool | None = None,
         seed_versions: Mapping[str, str] | None = None,
         reductions: Sequence[Reduction] = (),
+        persistent: bool = False,
+        on_complete: Callable[[int, object], object] | None = None,
+        frontends: Sequence[tuple] = (),
         log: Callable[[str], None] | None = None,
     ):
         if lease_timeout <= 0:
@@ -186,6 +283,9 @@ class Coordinator:
         self._seed_versions = (
             dict(seed_versions) if seed_versions is not None else None
         )
+        self._persistent = bool(persistent)
+        self._on_complete = on_complete
+        self._frontend_specs = list(frontends)
         self._log = log or (lambda message: None)
 
         self._lock = threading.Lock()
@@ -196,7 +296,7 @@ class Coordinator:
         )
         self._remaining = len(self._tasks)
         self._done = threading.Event()
-        if self._remaining == 0:
+        if self._remaining == 0 and not self._persistent:
             self._done.set()
         self._workers_seen: set[str] = set()
         self._worker_info: dict[str, _WorkerInfo] = {}
@@ -212,7 +312,13 @@ class Coordinator:
         self._store = None
         self._owns_store = False
         self._listener: socket.socket | None = None
-        self._threads: list[threading.Thread] = []
+        self._frontend_listeners: list[tuple[socket.socket, object]] = []
+        self._selector: selectors.BaseSelector | None = None
+        self._conns: set[_Conn] = set()
+        self._wake_r: socket.socket | None = None
+        self._wake_w: socket.socket | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._closing = False
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -224,6 +330,22 @@ class Coordinator:
         if self._listener is None:
             raise DistError("coordinator not started")
         return self._listener.getsockname()[:2]
+
+    @property
+    def frontend_addresses(self) -> list[tuple[str, int]]:
+        """Bound ``(host, port)`` of each frontend listener, in order."""
+        return [sock.getsockname()[:2] for sock, _ in self._frontend_listeners]
+
+    @property
+    def alive(self) -> bool:
+        """True while the event loop is serving (started, not closing)."""
+        thread = self._loop_thread
+        return (
+            thread is not None
+            and thread.is_alive()
+            and not self._closing
+            and not self._closed
+        )
 
     @property
     def requeues(self) -> int:
@@ -244,7 +366,13 @@ class Coordinator:
             return self._loads_served
 
     def status_snapshot(self) -> dict:
-        """The machine-readable state behind ``dist status`` probes."""
+        """The machine-readable state behind ``dist status`` probes.
+
+        Registered with :data:`~repro.obs.metrics.METRICS` as the
+        ``dist_status`` stats provider, so the TCP ``status`` probe, the
+        serve layer's ``GET /v1/status``, and ``METRICS.snapshot()`` all
+        expose this one shape.
+        """
         now = time.monotonic()
         with self._lock:
             return {
@@ -292,7 +420,7 @@ class Coordinator:
             }
 
     def start(self) -> tuple[str, int]:
-        """Bind, listen, and start serving in background threads."""
+        """Bind, listen, and start the event loop in one background thread."""
         if self._listener is not None:
             return self.address
         from ..engine.batch import _active_store
@@ -308,40 +436,66 @@ class Coordinator:
             # stall the per-job flushes.
             self._store.coordinator_owned += 1
             self._owns_store = True
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener = self._bind(self._host, self._port, "coordinator")
         try:
-            listener.bind((self._host, self._port))
-        except OSError as exc:
-            listener.close()
-            raise DistError(
-                f"cannot bind coordinator to {self._host}:{self._port}: {exc}"
-            ) from exc
-        listener.listen(32)
-        listener.settimeout(0.2)
-        self._listener = listener
-        accept = threading.Thread(
-            target=self._accept_loop, name="dist-accept", daemon=True
+            for spec_host, spec_port, factory in self._frontend_specs:
+                self._frontend_listeners.append(
+                    (self._bind(spec_host, spec_port, "frontend"), factory)
+                )
+        except DistError:
+            self.close()
+            raise
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._wake_r, selectors.EVENT_READ, ("wake",))
+        self._selector.register(
+            self._listener, selectors.EVENT_READ, ("accept", "dist", None)
         )
-        monitor = threading.Thread(
-            target=self._monitor_loop, name="dist-monitor", daemon=True
-        )
-        self._threads = [accept, monitor]
-        # The live coordinator is the process's dist-metrics source; a
-        # later batch's coordinator simply replaces the provider.
+        for sock, factory in self._frontend_listeners:
+            self._selector.register(
+                sock, selectors.EVENT_READ, ("accept", "frontend", factory)
+            )
+        # The live coordinator is the process's dist-metrics and
+        # dist-status source; a later batch's coordinator simply
+        # replaces the providers.
         METRICS.register_stats("dist", self.metrics_snapshot)
-        accept.start()
-        monitor.start()
+        METRICS.register_stats("dist_status", self.status_snapshot)
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="dist-loop", daemon=True
+        )
+        self._loop_thread.start()
         self._log(f"coordinator listening on {self.address[0]}:{self.address[1]}")
         return self.address
+
+    def _bind(self, host: str, port: int, label: str) -> socket.socket:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+        except OSError as exc:
+            sock.close()
+            raise DistError(
+                f"cannot bind {label} to {host}:{port}: {exc}"
+            ) from exc
+        sock.listen(128)
+        sock.setblocking(False)
+        return sock
 
     def serve(self, *, on_error: str = "raise") -> BatchResult:
         """Block until every job has a result, then finalize the batch.
 
         Identical post-processing to :func:`~repro.engine.batch.run_batch`:
         merged statistics are absorbed into this process's cache/store and
-        the ``on_error`` policy is applied to any failures.
+        the ``on_error`` policy is applied to any failures.  A
+        ``persistent`` coordinator never completes its queue, so ``serve``
+        refuses it rather than blocking forever.
         """
+        if self._persistent:
+            raise DistError(
+                "a persistent coordinator has no batch end; "
+                "drive it via start()/submit()/close()"
+            )
         self.start()
         try:
             self._done.wait()
@@ -371,19 +525,51 @@ class Coordinator:
         )
         return replace(result, dist_metrics=self.metrics_snapshot())
 
+    def submit(self, job: Job) -> int:
+        """Enqueue one job on a live coordinator; returns its index.
+
+        The serve layer's miss path.  Only meaningful before ``close()``;
+        on a non-persistent coordinator the job must land before the
+        batch completes or it will never be assigned.
+        """
+        if self._closing or self._closed:
+            raise DistError("coordinator is closed")
+        with self._lock:
+            index = len(self._tasks)
+            self._tasks.append(job)
+            self._outcomes.append(None)
+            self._remaining += 1
+            self._pending.append(index)
+        self._wake()
+        return index
+
     def close(self) -> None:
-        """Stop accepting and wake the serving threads."""
-        self._closed = True
+        """Stop listening, drain in-flight farewells, stop the loop."""
+        self._closing = True
         if self._owns_store and self._store is not None:
             self._store.coordinator_owned -= 1
             self._owns_store = False
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:  # pragma: no cover - close is best-effort
-                pass
-        for thread in self._threads:
-            thread.join(timeout=2.0)
+        thread = self._loop_thread
+        if thread is not None and thread.is_alive():
+            self._wake()
+            thread.join(timeout=_CLOSE_GRACE + 2.0)
+        elif self._selector is not None and not self._closed:
+            # start() succeeded but the loop never ran (or already died):
+            # release the sockets directly.
+            self._teardown()
+        if self._loop_thread is None:
+            # Never started: close whatever start() half-built (bind
+            # failures land here via start()'s error path).
+            for sock in [self._listener] + [
+                s for s, _ in self._frontend_listeners
+            ]:
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:  # pragma: no cover - best effort
+                        pass
+            self._frontend_listeners.clear()
+        self._closed = True
 
     def __enter__(self) -> "Coordinator":
         self.start()
@@ -392,185 +578,450 @@ class Coordinator:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # ------------------------------------------------------------------
-    # Background threads
-    # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while not self._closed:
+    def _wake(self) -> None:
+        wake = self._wake_w
+        if wake is not None:
             try:
-                conn, addr = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break  # listener closed under us: shutting down
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            handler = threading.Thread(
-                target=self._serve_connection,
-                args=(conn, f"{addr[0]}:{addr[1]}"),
-                name=f"dist-conn-{addr[1]}",
-                daemon=True,
-            )
-            handler.start()
-
-    def _monitor_loop(self) -> None:
-        """Requeue jobs whose lease expired (dead or silent worker)."""
-        interval = min(1.0, self._lease_timeout / 4)
-        while not self._closed and not self._done.is_set():
-            now = time.monotonic()
-            with self._lock:
-                expired = [
-                    index
-                    for index, lease in self._leases.items()
-                    if lease.deadline < now
-                ]
-                for index in expired:
-                    del self._leases[index]
-                    self._pending.appendleft(index)
-                    self._requeues += 1
-            for index in expired:
-                TRACER.instant("dist:requeue", cat="dist", index=index)
-                self._log(
-                    f"requeued job {index} after {self._lease_timeout:.0f}s "
-                    "without a heartbeat"
-                )
-            self._done.wait(timeout=interval)
+                wake.send(b"x")
+            except OSError:  # pragma: no cover - loop already gone
+                pass
 
     # ------------------------------------------------------------------
-    # Per-connection protocol
+    # Event loop
     # ------------------------------------------------------------------
-    def _serve_connection(self, conn: socket.socket, peer: str) -> None:
-        with self._lock:
-            self._owner_counter += 1
-            owner = self._owner_counter
-        held: set[int] = set()
-        worker_name = peer
+    def _loop(self) -> None:
         try:
-            message = recv_message(conn)
-            if message is None:
+            self._loop_body()
+        finally:
+            self._teardown()
+
+    def _loop_body(self) -> None:
+        assert self._selector is not None
+        close_deadline: float | None = None
+        listeners_open = True
+        while True:
+            now = time.monotonic()
+            if self._closing:
+                if listeners_open:
+                    listeners_open = False
+                    self._close_listeners()
+                    close_deadline = now + _CLOSE_GRACE
+                    # Idle pollers on a finished batch deserve a proper
+                    # "done" instead of a cut connection; draining
+                    # connections keep the loop alive (bounded by the
+                    # grace) until their farewell delta/bye lands.
+                    self._broadcast_done()
+                    for conn in list(self._conns):
+                        if conn.draining:
+                            continue
+                        if conn.outbuf:
+                            conn.close_after_flush = True
+                            self._flush_conn(conn)
+                        else:
+                            self._drop(conn, None)
+                if not self._conns or now >= close_deadline:
+                    return
+            try:
+                events = self._selector.select(self._loop_timeout(now))
+            except OSError:  # pragma: no cover - selector torn down
                 return
-            kind, payload = message
-            if kind == DIST_STATUS:
-                self._answer_status(conn, payload)
+            for key, mask in events:
+                tag = key.data
+                if tag[0] == "wake":
+                    try:
+                        while self._wake_r.recv(4096):
+                            pass
+                    except (BlockingIOError, OSError):
+                        pass
+                elif tag[0] == "accept":
+                    self._accept(key.fileobj, tag[1], tag[2])
+                else:
+                    conn = tag[1]
+                    if conn not in self._conns:
+                        continue  # dropped by an earlier event this round
+                    if mask & selectors.EVENT_READ:
+                        self._on_readable(conn)
+                    if conn in self._conns and mask & selectors.EVENT_WRITE:
+                        self._flush_conn(conn)
+            self._expire_leases()
+            self._expire_farewells()
+            self._broadcast_done()
+
+    def _loop_timeout(self, now: float) -> float:
+        timeout = min(1.0, self._lease_timeout / 4)
+        for conn in self._conns:
+            if conn.deadline is not None:
+                timeout = min(timeout, conn.deadline - now)
+        if self._closing:
+            timeout = min(timeout, 0.05)
+        return max(0.01, timeout)
+
+    def _close_listeners(self) -> None:
+        for sock in [self._listener] + [s for s, _ in self._frontend_listeners]:
+            if sock is None:
+                continue
+            try:
+                self._selector.unregister(sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    def _teardown(self) -> None:
+        for conn in list(self._conns):
+            self._drop(conn, None)
+        self._close_listeners()
+        for sock in (self._wake_r, self._wake_w):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        if self._selector is not None:
+            try:
+                self._selector.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _accept(self, listener, kind: str, factory) -> None:
+        while True:
+            try:
+                sock, addr = listener.accept()
+            except (BlockingIOError, InterruptedError):
                 return
-            if kind != "hello" or not isinstance(payload, dict):
-                send_message(conn, "reject", {"reason": "expected hello"})
+            except OSError:
+                return  # listener closed under us: shutting down
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP/odd platforms
+                pass
+            conn = _Conn(sock, f"{addr[0]}:{addr[1]}", kind)
+            if kind == "frontend":
+                try:
+                    conn.frontend = factory()
+                except Exception as exc:
+                    self._log(f"frontend handler factory failed: {exc}")
+                    sock.close()
+                    continue
+            else:
+                with self._lock:
+                    self._owner_counter += 1
+                    conn.owner = self._owner_counter
+            self._conns.add(conn)
+            self._selector.register(
+                sock, selectors.EVENT_READ, ("conn", conn)
+            )
+
+    def _update_interest(self, conn: _Conn) -> None:
+        events = selectors.EVENT_READ
+        if conn.outbuf:
+            events |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(conn.sock, events, ("conn", conn))
+        except (KeyError, ValueError, OSError):  # pragma: no cover
+            pass
+
+    def _drop(self, conn: _Conn, reason: str | None) -> None:
+        """Unregister, close, and release a connection's leases."""
+        if conn not in self._conns:
+            return
+        self._conns.discard(conn)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):  # pragma: no cover - already gone
+            pass
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+        if reason:
+            self._log(f"worker {conn.worker_name} connection error: {reason}")
+        if conn.kind == "dist":
+            self._release(conn.owner, conn.held, conn.worker_name)
+
+    def _on_readable(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as exc:
+            self._drop(conn, str(exc))
+            return
+        if not data:
+            self._drop(conn, None)  # peer closed: _release requeues
+            return
+        if conn.kind == "frontend":
+            self._feed_frontend(conn, data)
+            return
+        conn.inbuf += data
+        while conn in self._conns:
+            header = _HEADER.size
+            if len(conn.inbuf) < header:
                 return
-            version = payload.get("version")
-            if version != PROTOCOL_VERSION:
-                send_message(
-                    conn,
-                    "reject",
-                    {
-                        "reason": f"protocol version {version} != "
-                        f"{PROTOCOL_VERSION}"
-                    },
+            (length,) = _HEADER.unpack(conn.inbuf[:header])
+            if length > MAX_FRAME:
+                self._drop(conn, f"frame length {length} exceeds cap")
+                return
+            if len(conn.inbuf) < header + length:
+                return
+            blob = bytes(conn.inbuf[header : header + length])
+            del conn.inbuf[: header + length]
+            try:
+                kind, payload = decode_message(blob)
+                self._on_frame(conn, kind, payload)
+            except ProtocolError as exc:
+                self._drop(conn, str(exc))
+                return
+
+    def _feed_frontend(self, conn: _Conn, data: bytes) -> None:
+        try:
+            response = conn.frontend.feed(data)
+        except Exception as exc:
+            self._drop(conn, f"frontend handler failed: {exc}")
+            return
+        if response:
+            conn.outbuf += response
+        if getattr(conn.frontend, "done", False):
+            conn.close_after_flush = True
+        self._flush_conn(conn)
+
+    def _send(self, conn: _Conn, kind: str, payload: object = None) -> None:
+        if conn.seed_iter is not None and kind in ("job", "wait", "done"):
+            # Directives must trail the whole seed stream on the wire:
+            # the worker reads seed frames to completion before its first
+            # "next", so anything else interleaved would desync it.
+            self._pump_seed(conn, force=True)
+        conn.outbuf += encode_message(kind, payload)
+        self._flush_conn(conn)
+
+    def _flush_conn(self, conn: _Conn) -> None:
+        if conn not in self._conns:
+            return
+        self._pump_seed(conn)
+        while conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError as exc:
+                self._drop(conn, f"send failed: {exc}")
+                return
+            if sent <= 0:  # pragma: no cover - defensive
+                break
+            del conn.outbuf[:sent]
+            if not conn.outbuf:
+                self._pump_seed(conn)
+        if not conn.outbuf and conn.close_after_flush:
+            self._drop(conn, None)
+            return
+        self._update_interest(conn)
+
+    def _pump_seed(self, conn: _Conn, *, force: bool = False) -> None:
+        """Top the write buffer up from the connection's seed stream.
+
+        Chunked and back-pressured: the store is locked per chunk (inside
+        ``export_seed``) and chunks are only materialised while the write
+        buffer is below the low-water mark, so one slow worker neither
+        holds the store nor balloons coordinator memory.
+        """
+        while conn.seed_iter is not None and (
+            force or len(conn.outbuf) < _SEED_LOW_WATER
+        ):
+            try:
+                chunk = next(conn.seed_iter)
+            except StopIteration:
+                chunk = None
+            except Exception as exc:  # store torn down mid-stream
+                self._log(f"seed stream to {conn.worker_name} failed: {exc}")
+                chunk = None
+            if chunk is None:
+                conn.seed_iter = None
+                conn.outbuf += encode_message(
+                    STORE_SEED, {"rows": (), "done": True}
+                )
+                with self._lock:
+                    self._rows_seeded += conn.seeded
+                    if conn.info is not None:
+                        conn.info.seeded_rows += conn.seeded
+                TRACER.instant(
+                    "dist:seed_stream", cat="dist",
+                    worker=conn.worker_name, rows=conn.seeded,
+                )
+                self._log(
+                    f"seeded {conn.seeded} store row(s) to worker "
+                    f"{conn.worker_name}"
                 )
                 return
-            worker_name = str(payload.get("worker") or peer)
-            local = (
-                payload.get("host") == socket.gethostname()
-                and payload.get("pid") == os.getpid()
+            conn.outbuf += encode_message(
+                STORE_SEED, {"rows": chunk, "done": False}
             )
-            # Seeding and remote loads target *remote* workers: an
-            # in-process worker already reads this very store directly.
-            seed = self._seed_store and self._store is not None and not local
-            remote = (
-                self._remote_loads and self._store is not None and not local
-            )
+            conn.seeded += len(chunk)
+
+    # ------------------------------------------------------------------
+    # Frame dispatch (the old per-connection thread, as a state machine)
+    # ------------------------------------------------------------------
+    def _on_frame(self, conn: _Conn, kind: str, payload: object) -> None:
+        if not conn.handshaken:
+            self._on_first_frame(conn, kind, payload)
+            return
+        if conn.info is not None:
             with self._lock:
-                self._workers_seen.add(worker_name)
-                info = self._worker_info.setdefault(
-                    worker_name, _WorkerInfo(connected_at=time.monotonic())
-                )
-            send_message(
+                conn.info.last_seen = time.monotonic()
+        if conn.draining:
+            # After ``done`` only the farewell matters; anything else
+            # (late heartbeats, a duplicate result's next poll) is noise.
+            if kind == "delta":
+                self._import_delta(payload, conn.local)
+            elif kind == "bye":
+                self._drop(conn, None)
+            return
+        if kind == "heartbeat":
+            TRACER.instant(
+                "dist:heartbeat", cat="dist", worker=conn.worker_name,
+                index=payload.get("index") if isinstance(payload, dict) else None,
+            )
+            if isinstance(payload, dict):
+                self._extend_lease(conn.owner, payload.get("index"))
+            return
+        if kind == STORE_LOAD:
+            self._answer_load(conn, payload)
+            return
+        if kind == "delta":
+            self._import_delta(payload, conn.local)
+            return
+        if kind == "bye":
+            self._drop(conn, None)
+            return
+        if kind == "result":
+            if not isinstance(payload, dict):
+                raise ProtocolError("result payload must be a mapping")
+            index = payload["index"]
+            outcome = payload["outcome"]
+            accepted = self._complete(index, outcome, conn.local)
+            conn.held.discard(index)
+            if accepted and conn.info is not None:
+                # Dropped duplicates (post-requeue replays) must not
+                # inflate the status probe's throughput.
+                with self._lock:
+                    if isinstance(outcome, JobFailure):
+                        conn.info.failed += 1
+                    else:
+                        conn.info.completed += 1
+        elif kind != "next":
+            raise ProtocolError(
+                f"unexpected frame {kind!r} from {conn.worker_name}"
+            )
+        reply_kind, reply_payload = self._assign(conn.owner, conn.held)
+        self._send(conn, reply_kind, reply_payload)
+        if reply_kind == "done":
+            conn.draining = True
+            conn.deadline = time.monotonic() + _FAREWELL_GRACE
+
+    def _on_first_frame(self, conn: _Conn, kind: str, payload: object) -> None:
+        if kind == DIST_STATUS:
+            self._answer_status(conn, payload)
+            conn.close_after_flush = True
+            self._flush_conn(conn)
+            return
+        if kind != "hello" or not isinstance(payload, dict):
+            self._send(conn, "reject", {"reason": "expected hello"})
+            conn.close_after_flush = True
+            self._flush_conn(conn)
+            return
+        version = payload.get("version")
+        if version != PROTOCOL_VERSION:
+            self._send(
                 conn,
-                "welcome",
+                "reject",
                 {
-                    "version": PROTOCOL_VERSION,
-                    "jobs": len(self._tasks),
-                    "warmup": self._warmup,
-                    "heartbeat": self._lease_timeout / 3,
-                    "seed": {"enabled": seed, "remote": remote},
-                    # Observability: the coordinator's wall clock (the
-                    # worker's clock-offset reference point) and whether
-                    # the worker should buffer + ship trace spans.
-                    "now": time.time(),
-                    "trace": TRACER.enabled,
+                    "reason": f"protocol version {version} != "
+                    f"{PROTOCOL_VERSION}"
                 },
             )
-            self._log(f"worker {worker_name} connected")
-            if seed:
-                with TRACER.span(
-                    "dist:seed_stream", cat="dist", worker=worker_name
-                ) as sp:
-                    seeded = self._stream_seed(conn)
-                    sp.set(rows=seeded)
-                with self._lock:
-                    self._rows_seeded += seeded
-                    info.seeded_rows += seeded
+            conn.close_after_flush = True
+            self._flush_conn(conn)
+            return
+        conn.worker_name = str(payload.get("worker") or conn.peer)
+        conn.local = (
+            payload.get("host") == socket.gethostname()
+            and payload.get("pid") == os.getpid()
+        )
+        # Seeding and remote loads target *remote* workers: an
+        # in-process worker already reads this very store directly.
+        seed = self._seed_store and self._store is not None and not conn.local
+        remote = self._remote_loads and self._store is not None and not conn.local
+        with self._lock:
+            self._workers_seen.add(conn.worker_name)
+            conn.info = self._worker_info.setdefault(
+                conn.worker_name, _WorkerInfo(connected_at=time.monotonic())
+            )
+        conn.handshaken = True
+        self._send(
+            conn,
+            "welcome",
+            {
+                "version": PROTOCOL_VERSION,
+                "jobs": len(self._tasks),
+                "warmup": self._warmup,
+                "heartbeat": self._lease_timeout / 3,
+                "seed": {"enabled": seed, "remote": remote},
+                # Observability: the coordinator's wall clock (the
+                # worker's clock-offset reference point) and whether
+                # the worker should buffer + ship trace spans.
+                "now": time.time(),
+                "trace": TRACER.enabled,
+            },
+        )
+        self._log(f"worker {conn.worker_name} connected")
+        if seed:
+            versions, skipped = self._seed_plan(payload.get("seed_digest"))
+            if skipped:
                 self._log(
-                    f"seeded {seeded} store row(s) to worker {worker_name}"
+                    f"worker {conn.worker_name}: {skipped} seed tier(s) "
+                    "already current, skipped"
                 )
-            while True:
-                message = recv_message(conn)
-                if message is None:
-                    return  # worker died: finally-block requeues
-                kind, payload = message
-                with self._lock:
-                    info.last_seen = time.monotonic()
-                if kind == "heartbeat":
-                    TRACER.instant(
-                        "dist:heartbeat", cat="dist", worker=worker_name,
-                        index=payload.get("index"),
-                    )
-                    self._extend_lease(owner, payload.get("index"))
-                    continue
-                if kind == STORE_LOAD:
-                    self._answer_load(conn, payload, info)
-                    continue
-                if kind == "delta":
-                    self._import_delta(payload, local)
-                    continue
-                if kind == "bye":
-                    return
-                if kind == "result":
-                    index = payload["index"]
-                    outcome = payload["outcome"]
-                    accepted = self._complete(index, outcome, local)
-                    held.discard(index)
-                    if accepted:
-                        # Dropped duplicates (post-requeue replays) must
-                        # not inflate the status probe's throughput.
-                        with self._lock:
-                            if isinstance(outcome, JobFailure):
-                                info.failed += 1
-                            else:
-                                info.completed += 1
-                elif kind != "next":
-                    raise ProtocolError(
-                        f"unexpected frame {kind!r} from {worker_name}"
-                    )
-                reply_kind, reply_payload = self._assign(owner, held)
-                send_message(conn, reply_kind, reply_payload)
-                if reply_kind == "done":
-                    self._drain_farewell(conn, local)
-                    return
-        except (ProtocolError, OSError) as exc:
-            self._log(f"worker {worker_name} connection error: {exc}")
-        finally:
-            self._release(owner, held, worker_name)
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - close is best-effort
-                pass
+            if versions is None or versions:
+                conn.seed_iter = iter(self._store.export_seed(versions))
+            else:
+                conn.seed_iter = iter(())  # digest says: nothing to send
+            self._flush_conn(conn)  # starts pumping the stream
+
+    def _seed_plan(self, digests: object) -> tuple[dict | None, int]:
+        """What to stream given the worker's ``seed_digest`` (if any).
+
+        Returns ``(versions, skipped)``: a ``{kernel: (versions,)}``
+        mapping restricted to the tiers whose content differs from the
+        worker's (``None`` when the worker sent no digest — stream the
+        default plan), plus the number of matching tiers skipped.  A
+        mismatched tier streams in full; ``import_seed_rows`` dedups on
+        the worker, so over-sending costs bandwidth, never correctness.
+        """
+        if not isinstance(digests, dict) or self._store is None:
+            return self._seed_versions, 0
+        mine = self._store.seed_digest(self._seed_versions)
+        keep: dict[str, list[str]] = {}
+        skipped = 0
+        for (kernel, version), digest in sorted(mine.items()):
+            if digests.get((kernel, version)) == digest:
+                skipped += 1
+                continue
+            keep.setdefault(kernel, []).append(version)
+        return {k: tuple(v) for k, v in keep.items()}, skipped
 
     # ------------------------------------------------------------------
     # Queue state transitions (all under the lock)
     # ------------------------------------------------------------------
     def _assign(self, owner: int, held: set[int]) -> tuple[str, dict]:
         with self._lock:
-            if self._remaining == 0:
+            if self._remaining == 0 and not self._persistent:
+                return "done", {}
+            if self._persistent and self._closing:
                 return "done", {}
             if self._pending:
                 index = self._pending.popleft()
@@ -612,20 +1063,30 @@ class Coordinator:
             self._remaining -= 1
             # Under the same lock as the outcome write, so a result can
             # unblock each reduction exactly once even with several
-            # connection handlers completing jobs concurrently.
+            # completions landing in one loop iteration.
             ready = self._reductions.ready_after(index)
             if not local and isinstance(outcome, JobResult):
-                self._remote_cache_delta = self._remote_cache_delta.merge(
-                    outcome.stats
-                )
-                if outcome.store_stats is not None:
-                    self._remote_store_delta = (
-                        outcome.store_stats
-                        if self._remote_store_delta is None
-                        else self._remote_store_delta.merge(outcome.store_stats)
+                if self._persistent:
+                    # No batch end will absorb the accumulated deltas, so
+                    # fold remote activity into the live totals now —
+                    # /v1/metrics must reflect work the moment it lands.
+                    KERNEL_CACHE.absorb(outcome.stats)
+                    if outcome.store_stats is not None and self._store is not None:
+                        self._store.absorb_stats(outcome.store_stats)
+                else:
+                    self._remote_cache_delta = self._remote_cache_delta.merge(
+                        outcome.stats
                     )
+                    if outcome.store_stats is not None:
+                        self._remote_store_delta = (
+                            outcome.store_stats
+                            if self._remote_store_delta is None
+                            else self._remote_store_delta.merge(
+                                outcome.store_stats
+                            )
+                        )
         # Persist outside the queue lock: the store has its own lock, and
-        # a slow flush must not stall assignment to other workers.
+        # a slow flush must not stall a status probe mid-snapshot.
         if isinstance(outcome, JobResult):
             # Worker spans shipped inside the result join this process's
             # buffer — the only one the trace file is written from.
@@ -638,17 +1099,22 @@ class Coordinator:
         for rid in ready:
             self._run_reduction(rid)
         self._maybe_done()
+        if self._on_complete is not None:
+            try:
+                self._on_complete(index, outcome)
+            except Exception as exc:  # observers must not kill the loop
+                self._log(f"on_complete callback failed: {exc}")
         return True
 
     def _run_reduction(self, rid: int) -> None:
         """Fire one ready reduction in this (the coordinator's) process.
 
-        Runs on the connection-handler thread that delivered the last
-        input — cheap by contract (reductions are pure merges), and
-        executing here is what makes "fires as the last sub-shard lands"
-        literal rather than a post-batch sweep.  The reduction's store
-        writes are flushed immediately, so a coordinator killed later has
-        already banked every reduced row.
+        Runs on the event-loop thread the moment the last input lands —
+        cheap by contract (reductions are pure merges), and executing
+        here is what makes "fires as the last sub-shard lands" literal
+        rather than a post-batch sweep.  The reduction's store writes are
+        flushed immediately, so a coordinator killed later has already
+        banked every reduced row.
         """
         reduction = self._reductions.reductions[rid]
         with self._lock:
@@ -670,16 +1136,68 @@ class Coordinator:
         self._log(f"reduction {reduction.name} fired")
 
     def _maybe_done(self) -> None:
-        """Signal completion once every job *and* every reduction is in.
-
-        Called after job completions and reduction firings alike: two
-        handlers may race to deliver the last results, and whichever
-        records the final missing piece trips the event.
-        """
+        """Signal completion once every job *and* every reduction is in."""
+        if self._persistent:
+            return  # a service's queue drains and refills; no batch end
         with self._lock:
             done = self._remaining == 0 and self._reductions_pending == 0
         if done:
             self._done.set()
+
+    def _broadcast_done(self) -> None:
+        """Tell parked workers the batch finished without waiting for
+        their next poll.
+
+        Only idle connections (no held leases) are told: a worker still
+        computing a requeued duplicate keeps its request/response stream
+        intact and learns ``done`` as the piggybacked reply to its
+        result, exactly as before.  A persistent coordinator never
+        finishes a batch, so its workers are told ``done`` only when the
+        service itself is closing.
+        """
+        finished = self._done.is_set() and not self._persistent
+        if not (finished or (self._persistent and self._closing)):
+            return
+        for conn in list(self._conns):
+            if (
+                conn.kind == "dist"
+                and conn.handshaken
+                and not conn.draining
+                and not conn.close_after_flush
+                and not conn.held
+            ):
+                self._send(conn, "done", {})
+                conn.draining = True
+                conn.deadline = time.monotonic() + _FAREWELL_GRACE
+
+    def _expire_leases(self) -> None:
+        """Requeue jobs whose lease expired (dead or silent worker)."""
+        if self._done.is_set():
+            return
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                index
+                for index, lease in self._leases.items()
+                if lease.deadline < now
+            ]
+            for index in expired:
+                del self._leases[index]
+                self._pending.appendleft(index)
+                self._requeues += 1
+        for index in expired:
+            TRACER.instant("dist:requeue", cat="dist", index=index)
+            self._log(
+                f"requeued job {index} after {self._lease_timeout:.0f}s "
+                "without a heartbeat"
+            )
+
+    def _expire_farewells(self) -> None:
+        """Close post-``done`` connections whose farewell never came."""
+        now = time.monotonic()
+        for conn in list(self._conns):
+            if conn.draining and conn.deadline is not None and now >= conn.deadline:
+                self._drop(conn, None)
 
     def _release(self, owner: int, held: set[int], worker: str) -> None:
         """Requeue every job this connection still holds (worker died)."""
@@ -695,51 +1213,10 @@ class Coordinator:
         for index in requeued:
             self._log(f"requeued job {index} after {worker} disconnected")
 
-    def _drain_farewell(self, conn: socket.socket, local: bool) -> None:
-        """After ``done``: read the worker's final ``delta``/``bye``.
-
-        The worker answers ``done`` with any store rows it still holds
-        outside a job (warmup strays) and a ``bye``; closing before
-        reading them would discard the rows and hand the worker an
-        ECONNRESET instead of a clean goodbye.  A wedged worker must not
-        hold the handler hostage, hence the short timeout.
-        """
-        try:
-            conn.settimeout(5.0)
-            while True:
-                message = recv_message(conn)
-                if message is None:
-                    return
-                kind, payload = message
-                if kind == "delta":
-                    self._import_delta(payload, local)
-                elif kind == "bye":
-                    return
-        except (ProtocolError, OSError):
-            return
-
     # ------------------------------------------------------------------
-    # Store data plane (seeding + remote loads) and the status probe
+    # Store data plane (remote loads) and the status probe
     # ------------------------------------------------------------------
-    def _stream_seed(self, conn: socket.socket) -> int:
-        """Stream the store's relevant rows to a fresh worker; row count.
-
-        Chunked by the store's :meth:`~repro.store.ResultStore.export_seed`
-        so a huge store becomes many modest frames — the store lock and
-        this connection's send buffer are held per chunk, never for the
-        whole file.  The final chunk carries ``done=True`` so the worker
-        knows when the job conversation may begin.
-        """
-        seeded = 0
-        for chunk in self._store.export_seed(self._seed_versions):
-            send_message(conn, STORE_SEED, {"rows": chunk, "done": False})
-            seeded += len(chunk)
-        send_message(conn, STORE_SEED, {"rows": (), "done": True})
-        return seeded
-
-    def _answer_load(
-        self, conn: socket.socket, payload: object, info: _WorkerInfo
-    ) -> None:
+    def _answer_load(self, conn: _Conn, payload: object) -> None:
         """Serve one ``store_load``: a worker's store miss, mid-job.
 
         Read-only: the row (pending overlay included, so results banked
@@ -757,17 +1234,18 @@ class Coordinator:
                 and isinstance(key_hash, str)
             ):
                 row = self._store.load_row(kernel, version, key_hash)
-        send_message(conn, STORE_LOAD_RESULT, {"row": row})
+        self._send(conn, STORE_LOAD_RESULT, {"row": row})
         if row is not None:
             with self._lock:
                 self._loads_served += 1
-                info.loads_served += 1
+                if conn.info is not None:
+                    conn.info.loads_served += 1
 
-    def _answer_status(self, conn: socket.socket, payload: object) -> None:
+    def _answer_status(self, conn: _Conn, payload: object) -> None:
         """Serve a ``status`` probe (first frame of its own connection)."""
         version = payload.get("version") if isinstance(payload, dict) else None
         if version != PROTOCOL_VERSION:
-            send_message(
+            self._send(
                 conn,
                 "reject",
                 {
@@ -776,7 +1254,7 @@ class Coordinator:
                 },
             )
             return
-        send_message(conn, DIST_STATUS_REPLY, self.status_snapshot())
+        self._send(conn, DIST_STATUS_REPLY, self.status_snapshot())
 
     def _import_delta(self, payload: object, local: bool) -> None:
         """Absorb stray store rows/touches a worker produced outside jobs.

@@ -205,20 +205,27 @@ def make_executor(
     *,
     seed_store: bool = True,
     log: Callable[[str], None] | None = None,
+    config=None,
 ) -> Executor:
     """Map the CLI surface onto an executor.
 
-    ``distributed`` (a ``HOST:PORT`` / ``:PORT`` spec) wins over ``jobs``;
-    otherwise ``jobs > 1`` selects the pool and ``jobs == 1`` the serial
-    reference path.  ``seed_store`` maps ``--seed-store on|off`` onto the
-    coordinator's store-seeding handshake (and remote loads); it only
-    matters for the distributed executor with an active store.
+    The keyword surface is a deprecated shim over
+    :class:`repro.config.ExecutorConfig`: pass ``config`` and the other
+    arguments (except ``log``) are ignored; pass the old keywords and an
+    equivalent config is built for you.  Either way
+    :meth:`~repro.config.ExecutorConfig.make` decides — ``distributed``
+    (a ``HOST:PORT`` / ``:PORT`` spec) wins over ``jobs``, ``jobs > 1``
+    selects the pool, ``jobs == 1`` the serial reference path, and
+    ``seed_store`` maps ``--seed-store on|off`` onto the coordinator's
+    store-seeding handshake (and remote loads).
     """
-    if distributed is not None:
-        return DistExecutor(distributed, seed_store=seed_store, log=log)
-    if jobs > 1:
-        return PoolExecutor(jobs)
-    return SerialExecutor()
+    if config is None:
+        from ..config import ExecutorConfig
+
+        config = ExecutorConfig(
+            jobs=jobs, distributed=distributed, seed_store=seed_store
+        )
+    return config.make(log=log)
 
 
 def probe_status(
@@ -259,6 +266,18 @@ def probe_status(
         return payload
     finally:
         sock.close()
+
+
+def render_status_json(status: dict, *, indent: int | None = None) -> str:
+    """The one JSON rendering of a coordinator status snapshot.
+
+    ``dist status --json``, ``--watch --json``, and the service's
+    ``GET /v1/status`` all emit the same dict — the coordinator's
+    ``status_snapshot()``, which is also what the ``dist_status`` stats
+    provider feeds into ``MetricsRegistry.snapshot()`` — so the
+    serialisation lives in exactly one place.
+    """
+    return json.dumps(status, sort_keys=True, indent=indent)
 
 
 #: ANSI clear-screen + cursor-home, the "reprint in place" of watch mode.
@@ -306,7 +325,7 @@ def watch_status(
             break  # was answering, now gone: the run finished
         polls += 1
         if render is None:
-            text = json.dumps(status, sort_keys=True)
+            text = render_status_json(status)
         else:
             text = render(status)
             if clear:

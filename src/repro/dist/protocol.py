@@ -11,11 +11,14 @@ The conversation, after a version handshake, is worker-driven::
 
     worker                          coordinator
     ------                          -----------
-    hello {version, worker}    ->
+    hello {version, worker,
+           seed_digest?}       ->
                                <-   welcome {version, jobs, warmup, seed,
                                     now, trace}
                                <-   store_seed {rows, done}*  (warm start,
-                                    zero or more chunks, last has done=True)
+                                    zero or more chunks, last has done=True;
+                                    tiers whose seed_digest matched the
+                                    coordinator's are skipped entirely)
     next {}                    ->
                                <-   job {index, job} | wait {delay} | done {}
     heartbeat {index}          ->   (one-way, extends the job's lease)
@@ -68,6 +71,8 @@ __all__ = [
     "DIST_STATUS",
     "DIST_STATUS_REPLY",
     "ProtocolError",
+    "encode_message",
+    "decode_message",
     "send_message",
     "recv_message",
     "request",
@@ -100,14 +105,35 @@ class ProtocolError(EngineError):
     """A malformed, oversized, or wrong-version frame."""
 
 
-def send_message(sock: socket.socket, kind: str, payload: object = None) -> None:
-    """Pickle and send one ``(kind, payload)`` frame."""
+def encode_message(kind: str, payload: object = None) -> bytes:
+    """One ``(kind, payload)`` frame as wire bytes (header + pickle).
+
+    The building block shared by the blocking :func:`send_message` and
+    the coordinator's event loop (which appends frames to per-connection
+    write buffers instead of calling ``sendall``).
+    """
     blob = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
     if len(blob) > MAX_FRAME:
         raise ProtocolError(
             f"refusing to send {len(blob)}-byte frame (kind {kind!r})"
         )
-    sock.sendall(_HEADER.pack(len(blob)) + blob)
+    return _HEADER.pack(len(blob)) + blob
+
+
+def decode_message(blob: bytes) -> tuple[str, object]:
+    """Decode one frame *payload* (header already stripped and checked)."""
+    try:
+        kind, payload = pickle.loads(blob)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(kind, str):
+        raise ProtocolError(f"frame kind must be a string, got {type(kind)}")
+    return kind, payload
+
+
+def send_message(sock: socket.socket, kind: str, payload: object = None) -> None:
+    """Pickle and send one ``(kind, payload)`` frame."""
+    sock.sendall(encode_message(kind, payload))
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
@@ -140,13 +166,7 @@ def recv_message(sock: socket.socket) -> tuple[str, object] | None:
     blob = _recv_exact(sock, length)
     if blob is None:
         raise ProtocolError("connection closed between header and payload")
-    try:
-        kind, payload = pickle.loads(blob)
-    except Exception as exc:
-        raise ProtocolError(f"undecodable frame: {exc}") from exc
-    if not isinstance(kind, str):
-        raise ProtocolError(f"frame kind must be a string, got {type(kind)}")
-    return kind, payload
+    return decode_message(blob)
 
 
 def request(

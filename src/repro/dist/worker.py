@@ -297,21 +297,27 @@ def run_worker(
     store_restore = None
     trace_restore = None
     try:
+        hello = {
+            "version": PROTOCOL_VERSION,
+            "worker": name,
+            # Lets the coordinator recognise a worker in its own
+            # process, whose cache/store activity is already in
+            # the live counters and must not be absorbed twice.
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+        }
+        if store is not None:
+            # Incremental seeding: advertise what this store can already
+            # answer, per (kernel, version), so a reconnecting worker is
+            # only streamed tiers whose content differs on the
+            # coordinator.  An empty digest says nothing (a fresh worker
+            # wants the full stream), so the key is omitted.
+            digest = store.seed_digest()
+            if digest:
+                hello["seed_digest"] = digest
         hello_sent = time.time()
         with send_lock:
-            send_message(
-                sock,
-                "hello",
-                {
-                    "version": PROTOCOL_VERSION,
-                    "worker": name,
-                    # Lets the coordinator recognise a worker in its own
-                    # process, whose cache/store activity is already in
-                    # the live counters and must not be absorbed twice.
-                    "host": socket.gethostname(),
-                    "pid": os.getpid(),
-                },
-            )
+            send_message(sock, "hello", hello)
         greeting = recv_message(sock)
         welcome_received = time.time()
         if greeting is None:

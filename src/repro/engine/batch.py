@@ -599,6 +599,7 @@ def run_batch(
     on_error: str = "raise",
     executor=None,
     reductions: Sequence[Reduction] = (),
+    config=None,
 ) -> BatchResult:
     """Execute ``tasks`` and return their results in submission order.
 
@@ -633,7 +634,16 @@ def run_batch(
         streaming, no barrier — and its store writes are persisted
         immediately like any job's.  Results land on
         ``BatchResult.reduction_results`` in reduction order.
+    config:
+        Optional :class:`repro.config.ExecutorConfig`; when given (and no
+        explicit ``executor``), it supersedes ``jobs`` — a distributed
+        address in the config builds the distributed executor, otherwise
+        its ``jobs`` count is used as if passed directly.
     """
+    if config is not None:
+        jobs = config.jobs
+        if executor is None and config.distributed is not None:
+            executor = config.make()
     if executor is not None:
         delegated_start = time.perf_counter()
         result = executor.run(

@@ -13,6 +13,7 @@ __all__ = [
     "EngineError",
     "StoreError",
     "DistError",
+    "ConfigError",
 ]
 
 
@@ -54,3 +55,7 @@ class StoreError(ReproError):
 
 class DistError(EngineError):
     """Raised by the distributed executor (connection/handshake failures)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid run-configuration values (:mod:`repro.config`)."""

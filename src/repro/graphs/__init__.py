@@ -16,8 +16,10 @@ Public surface of the :mod:`repro.graphs` package:
 
 from .digraph import Digraph
 from .families import (
+    FAMILY_NAMES,
     bidirectional_cycle,
     bidirectional_path,
+    build_family,
     complete_bipartite,
     complete_graph,
     cycle,
@@ -102,7 +104,9 @@ from .symmetry import (
 __all__ = [
     "Digraph",
     # families
+    "FAMILY_NAMES",
     "bidirectional_cycle",
+    "build_family",
     "bidirectional_path",
     "complete_bipartite",
     "complete_graph",

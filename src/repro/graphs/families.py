@@ -14,6 +14,8 @@ from ..errors import GraphError
 from .digraph import Digraph
 
 __all__ = [
+    "FAMILY_NAMES",
+    "build_family",
     "empty_graph",
     "complete_graph",
     "star",
@@ -34,6 +36,37 @@ __all__ = [
     "figure1_second",
     "figure2_graph",
 ]
+
+
+#: Families addressable by name from the CLI (``--family``) and the query
+#: service (``"family"`` in a request body).  A subset of this module: the
+#: single-parameter constructors (plus ``union_of_stars``, the one that
+#: takes centres) that make sense as a user-facing vocabulary.
+FAMILY_NAMES = (
+    "star", "cycle", "bidirectional_cycle", "path", "wheel",
+    "out_tree", "in_tree", "tournament", "complete_graph", "empty_graph",
+    "union_of_stars",
+)
+
+
+def build_family(
+    family: str, n: int, centers: Iterable[int] | None = None
+) -> Digraph:
+    """Construct a named family member — the shared CLI/service entry.
+
+    ``centers`` is only meaningful for ``union_of_stars`` (defaulting to a
+    single star centred at 0) and ignored otherwise.  Unknown names and
+    invalid parameters raise :class:`~repro.errors.GraphError`, so every
+    front end reports the same vocabulary in its errors.
+    """
+    if family not in FAMILY_NAMES:
+        raise GraphError(
+            f"unknown family {family!r}; choose from {', '.join(FAMILY_NAMES)}"
+        )
+    if family == "union_of_stars":
+        chosen = tuple(centers) if centers is not None else (0,)
+        return union_of_stars(n, chosen)
+    return globals()[family](n)
 
 
 def empty_graph(n: int) -> Digraph:

@@ -1,0 +1,28 @@
+"""Solvability-as-a-service: the HTTP query front end.
+
+``python -m repro serve`` keeps a warm process resident — kernel memo
+cache, persistent store, and a pool of workers — and answers solvability
+questions over HTTP/JSON.  Anything already banked is served
+synchronously (sub-millisecond, ``"cached": true``); anything cold is
+enqueued on the persistent coordinator and polled by job id.  See
+:mod:`repro.serve.app` for the routes and :mod:`repro.serve.service`
+for the assembly; configuration is a
+:class:`~repro.config.ServeConfig`.
+
+Quickstart (test client)::
+
+    from repro.config import ServeConfig
+    from repro.serve import ServeService
+
+    with ServeService(ServeConfig.builder().workers(2).build()) as svc:
+        host, port = svc.http_address
+        # POST {"family": "cycle", "n": 4, "k": 2} to /v1/solvability
+"""
+
+from __future__ import annotations
+
+from .app import QueryApp
+from .http import HttpConnection
+from .service import ServeService
+
+__all__ = ["HttpConnection", "QueryApp", "ServeService"]

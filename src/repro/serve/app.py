@@ -1,0 +1,289 @@
+"""Query routing of the solvability service.
+
+:class:`QueryApp` is the application half of ``python -m repro serve``:
+it maps HTTP routes onto the sweep kernels and the persistent
+coordinator.  The split of responsibilities is strict —
+
+* anything *resident* (kernel memo cache or persistent store, via the
+  kernels' ``peek``) is answered synchronously with ``"cached": true``;
+* anything else is enqueued on the coordinator as an ordinary engine
+  job and answered ``202`` with a job id for polling;
+* no route ever blocks on a computation.
+
+Both :meth:`QueryApp.handle` (driven by the HTTP frontend) and
+:meth:`QueryApp.on_complete` (the coordinator's completion callback) run
+on the coordinator's single event-loop thread, so the job registry needs
+no locking for correctness; the lock below only guards against external
+readers (``ServeService.describe`` and tests poking at state).
+
+Routes::
+
+    POST /v1/solvability  {"family", "n", "k", "centers"?, "budget"?,
+                           "backend"?}
+    POST /v1/bounds       {"family", "n", "centers"?}
+    GET  /v1/jobs/<id>
+    GET  /v1/status       (coordinator status_snapshot + a "serve" block)
+    GET  /v1/metrics      (the process-wide MetricsRegistry snapshot)
+
+Verdicts answered here are definitionally identical to the serial
+reference: ``/v1/solvability`` runs (or recalls) the same
+``solvability_subshard`` kernel the sweeps execute, whose body is
+``decide_one_round_solvability`` over the full closed-above model.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..analysis.sweeps import DEFAULT_BUDGET, _class_bounds, _subshard_solvable
+from ..engine.batch import Job, JobFailure
+from ..engine.canonical import iso_key
+from ..errors import DistError, GraphError, VerificationError
+from ..graphs import build_family
+from ..obs.metrics import METRICS
+from ..verification.backends import resolve_backend
+
+__all__ = ["QueryApp"]
+
+
+class _BadRequest(Exception):
+    """Internal: a client error that should surface as an HTTP 400."""
+
+
+def _int_field(query: dict, name: str, default=None) -> int:
+    value = query.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _BadRequest(f"field {name!r} must be an integer")
+    return value
+
+
+class QueryApp:
+    """Route solvability queries between banked state and the queue."""
+
+    def __init__(self, *, budget: int = DEFAULT_BUDGET,
+                 backend: str | None = None, metrics=METRICS):
+        if budget < 1:
+            from ..errors import ConfigError
+
+            raise ConfigError(f"budget must be positive, got {budget}")
+        self._budget = int(budget)
+        self._backend = resolve_backend(backend)  # fail fast on unknown
+        self._metrics = metrics
+        self._coordinator = None
+        self._lock = threading.Lock()
+        self._jobs: dict[str, dict] = {}
+        self._key_of: dict[str, tuple] = {}
+        self._by_key: dict[tuple, str] = {}
+        self._by_index: dict[int, str] = {}
+
+    def bind(self, coordinator) -> None:
+        """Attach the (started) coordinator jobs are submitted to."""
+        self._coordinator = coordinator
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """One request in, ``(status, JSON payload)`` out — never raises
+        for client errors (those become 400/404/405/503 bodies)."""
+        self._metrics.counter("serve.requests").inc()
+        try:
+            if path == "/v1/solvability":
+                if method != "POST":
+                    return self._wrong_method(method, path)
+                return self._solvability(self._parse(body))
+            if path == "/v1/bounds":
+                if method != "POST":
+                    return self._wrong_method(method, path)
+                return self._bounds(self._parse(body))
+            if path.startswith("/v1/jobs/"):
+                if method != "GET":
+                    return self._wrong_method(method, path)
+                return self._job_status(path[len("/v1/jobs/"):])
+            if path == "/v1/status":
+                if method != "GET":
+                    return self._wrong_method(method, path)
+                return 200, self.status()
+            if path == "/v1/metrics":
+                if method != "GET":
+                    return self._wrong_method(method, path)
+                return 200, self._metrics.snapshot()
+        except _BadRequest as exc:
+            self._metrics.counter("serve.bad_requests").inc()
+            return 400, {"error": str(exc)}
+        return 404, {"error": f"no route {path!r}"}
+
+    @staticmethod
+    def _wrong_method(method: str, path: str) -> tuple[int, dict]:
+        return 405, {"error": f"method {method} not allowed for {path}"}
+
+    @staticmethod
+    def _parse(body: bytes) -> dict:
+        import json
+
+        if not body:
+            raise _BadRequest("empty body; expected a JSON object")
+        try:
+            query = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _BadRequest(f"invalid JSON body: {exc}") from exc
+        if not isinstance(query, dict):
+            raise _BadRequest("body must be a JSON object")
+        return query
+
+    def _graph_of(self, query: dict):
+        family = query.get("family")
+        if not isinstance(family, str):
+            raise _BadRequest("field 'family' must be a string")
+        n = _int_field(query, "n")
+        centers = query.get("centers")
+        if centers is not None:
+            if not (isinstance(centers, list)
+                    and all(isinstance(c, int) and not isinstance(c, bool)
+                            for c in centers)):
+                raise _BadRequest("field 'centers' must be a list of ints")
+            centers = tuple(centers)
+        try:
+            g = build_family(family, n, centers)
+        except (GraphError, TypeError, ValueError) as exc:
+            raise _BadRequest(str(exc)) from exc
+        echo = {"family": family, "n": n}
+        if centers is not None:
+            echo["centers"] = list(centers)
+        return g, n, echo
+
+    # ------------------------------------------------------------------
+    # Query routes
+    # ------------------------------------------------------------------
+
+    def _solvability(self, query: dict) -> tuple[int, dict]:
+        g, n, echo = self._graph_of(query)
+        k = _int_field(query, "k")
+        if k < 1:
+            raise _BadRequest(f"field 'k' must be >= 1, got {k}")
+        budget = _int_field(query, "budget", self._budget)
+        if budget < 1:
+            raise _BadRequest(f"field 'budget' must be >= 1, got {budget}")
+        try:
+            backend = resolve_backend(query.get("backend") or self._backend)
+        except VerificationError as exc:
+            raise _BadRequest(str(exc)) from exc
+        echo.update(k=k, budget=budget, backend=backend)
+        self._metrics.counter("serve.queries").inc()
+        found, value = _subshard_solvable.peek(g, n, budget, k, backend=backend)
+        if found:
+            self._metrics.counter("serve.hits").inc()
+            return 200, {**echo, "solvable": bool(value), "cached": True}
+        self._metrics.counter("serve.misses").inc()
+        key = ("solvability", iso_key(g), n, budget, k, backend)
+        job = Job(
+            name=f"serve:solvability[{query.get('family')}/{n},k={k}]",
+            fn=_subshard_solvable,
+            args=(g, n, budget, k),
+            kwargs={"backend": backend},
+        )
+        return self._enqueue("solvability", key, job, echo)
+
+    def _bounds(self, query: dict) -> tuple[int, dict]:
+        g, n, echo = self._graph_of(query)
+        self._metrics.counter("serve.queries").inc()
+        found, value = _class_bounds.peek(g, n)
+        if found:
+            self._metrics.counter("serve.hits").inc()
+            lo, hi = value
+            return 200, {**echo, "lower": lo, "upper": hi, "cached": True}
+        self._metrics.counter("serve.misses").inc()
+        key = ("bounds", iso_key(g), n)
+        job = Job(
+            name=f"serve:bounds[{query.get('family')}/{n}]",
+            fn=_class_bounds,
+            args=(g, n),
+        )
+        return self._enqueue("bounds", key, job, echo)
+
+    def _enqueue(
+        self, kind: str, key: tuple, job: Job, echo: dict
+    ) -> tuple[int, dict]:
+        coordinator = self._coordinator
+        if coordinator is None or not coordinator.alive:
+            self._metrics.counter("serve.unavailable").inc()
+            return 503, {"error": "coordinator unavailable"}
+        with self._lock:
+            job_id = self._by_key.get(key)
+            if job_id is not None:
+                # The same question is already in flight: share its id
+                # instead of paying for the computation twice.
+                return 202, {"job": job_id, "state": "pending", "query": echo}
+            try:
+                index = coordinator.submit(job)
+            except DistError:
+                self._metrics.counter("serve.unavailable").inc()
+                return 503, {"error": "coordinator unavailable"}
+            job_id = f"job-{index}"
+            self._jobs[job_id] = {
+                "id": job_id, "kind": kind, "state": "pending", "query": echo,
+            }
+            self._key_of[job_id] = key
+            self._by_key[key] = job_id
+            self._by_index[index] = job_id
+        self._metrics.counter("serve.enqueued").inc()
+        return 202, {"job": job_id, "state": "pending", "query": echo}
+
+    # ------------------------------------------------------------------
+    # Completion + read-only routes
+    # ------------------------------------------------------------------
+
+    def on_complete(self, index: int, outcome) -> None:
+        """Coordinator callback: file one finished job under its id."""
+        with self._lock:
+            job_id = self._by_index.pop(index, None)
+            if job_id is None:
+                return
+            record = self._jobs[job_id]
+            self._by_key.pop(self._key_of.pop(job_id, None), None)
+            if isinstance(outcome, JobFailure):
+                record["state"] = "failed"
+                record["error"] = outcome.message
+                self._metrics.counter("serve.failed").inc()
+            else:
+                record["state"] = "done"
+                value = outcome.value
+                if record["kind"] == "bounds":
+                    lo, hi = value
+                    record["result"] = {"lower": lo, "upper": hi}
+                else:
+                    record["result"] = {"solvable": bool(value)}
+                record["elapsed"] = outcome.elapsed
+                self._metrics.counter("serve.completed").inc()
+
+    def _job_status(self, job_id: str) -> tuple[int, dict]:
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return 404, {"error": f"unknown job {job_id!r}"}
+            return 200, dict(record)
+
+    def status(self) -> dict:
+        """The ``/v1/status`` payload.
+
+        Same shape as ``python -m repro dist status --json`` — it *is*
+        the coordinator's ``status_snapshot()``, the dict the
+        ``dist_status`` stats provider feeds into
+        ``MetricsRegistry.snapshot()`` — plus a ``"serve"`` block with
+        the job registry (dict payloads grow keys, never reshape).
+        """
+        states = {"pending": 0, "done": 0, "failed": 0}
+        with self._lock:
+            for record in self._jobs.values():
+                states[record["state"]] += 1
+        payload: dict = {}
+        coordinator = self._coordinator
+        if coordinator is not None:
+            payload.update(coordinator.status_snapshot())
+        payload["serve"] = {
+            "backend": self._backend,
+            "budget": self._budget,
+            "jobs": states,
+        }
+        return payload

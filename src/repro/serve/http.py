@@ -1,0 +1,133 @@
+"""Minimal HTTP/1.1 front end for the coordinator's event loop.
+
+:class:`HttpConnection` implements the coordinator's *frontend handler*
+contract — ``feed(data: bytes) -> bytes`` plus a ``done`` flag — so the
+query service rides the same ``selectors`` loop as the worker protocol
+without the coordinator knowing anything about HTTP.  The dialect is
+deliberately tiny: one request per connection (every response carries
+``Connection: close``), JSON bodies both ways, no chunked encoding, no
+keep-alive.  Query clients poll; they do not stream.
+
+Robustness over features: a request that never finishes its header block
+within :data:`MAX_HEADER_BYTES` is answered ``431``, a declared body over
+:data:`MAX_BODY_BYTES` is answered ``413``, and anything unparsable is a
+``400`` — all without raising into the event loop, which would drop the
+connection without a response.  Application exceptions become ``500``
+bodies for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["HttpConnection", "MAX_HEADER_BYTES", "MAX_BODY_BYTES"]
+
+#: Cap on the request line + header block; past this without a blank line
+#: the request is rejected (431) rather than buffered forever.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Cap on a declared request body.  Queries are a few hundred bytes of
+#: JSON; anything near this cap is a mistake or an attack.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:
+    """Split a raw header block into ``(method, target, headers)``.
+
+    Raises ``ValueError`` with a client-safe message on anything
+    malformed; header names are lower-cased for case-insensitive lookup.
+    """
+    lines = head.decode("iso-8859-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), target, headers
+
+
+class HttpConnection:
+    """One HTTP/1.1 connection, fed by the coordinator's event loop.
+
+    ``app`` is anything with ``handle(method, path, body) -> (status,
+    payload)`` where ``payload`` is JSON-serialisable; see
+    :class:`~repro.serve.app.QueryApp`.  The handler is synchronous by
+    design — every route either answers from banked state or enqueues a
+    job and answers with its id, so no response ever waits on a
+    computation.
+    """
+
+    __slots__ = ("_app", "_buf", "done")
+
+    def __init__(self, app):
+        self._app = app
+        self._buf = bytearray()
+        self.done = False
+
+    def feed(self, data: bytes) -> bytes:
+        if self.done:
+            return b""  # trailing bytes after our response: ignored
+        self._buf += data
+        head_end = self._buf.find(b"\r\n\r\n")
+        if head_end < 0:
+            if len(self._buf) > MAX_HEADER_BYTES:
+                return self._finish(
+                    431, {"error": "request header block too large"}
+                )
+            return b""
+        try:
+            method, target, headers = _parse_head(bytes(self._buf[:head_end]))
+        except ValueError as exc:
+            return self._finish(400, {"error": str(exc)})
+        try:
+            length = int(headers.get("content-length", "0"))
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            return self._finish(400, {"error": "invalid Content-Length"})
+        if length > MAX_BODY_BYTES:
+            return self._finish(
+                413, {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"}
+            )
+        body_start = head_end + 4
+        if len(self._buf) < body_start + length:
+            return b""  # body still in flight
+        body = bytes(self._buf[body_start : body_start + length])
+        path = target.split("?", 1)[0]
+        try:
+            status, payload = self._app.handle(method, path, body)
+        except Exception as exc:  # route bugs must not kill the loop
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        return self._finish(status, payload)
+
+    def _finish(self, status: int, payload: object) -> bytes:
+        self.done = True
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + body

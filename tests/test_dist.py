@@ -79,13 +79,25 @@ class _FakeWorker:
         self.sock = socket.create_connection(address, timeout=10.0)
         self.name = name
 
-    def handshake(self, version=PROTOCOL_VERSION):
-        return request(
-            self.sock, "hello", {"version": version, "worker": self.name}
-        )
+    def handshake(self, version=PROTOCOL_VERSION, **extra):
+        hello = {"version": version, "worker": self.name, **extra}
+        return request(self.sock, "hello", hello)
+
+    def drain_seed(self) -> int:
+        """Read the handshake's seed stream; returns total rows shipped."""
+        rows = 0
+        while True:
+            kind, payload = recv_message(self.sock)
+            assert kind == "store_seed", kind
+            rows += len(payload.get("rows") or ())
+            if payload.get("done"):
+                return rows
 
     def next_job(self):
         return request(self.sock, "next", {})
+
+    def request_bye(self):
+        send_message(self.sock, "bye", {})
 
     def finish(self, index, job):
         outcome = execute_job(job)
@@ -925,3 +937,92 @@ class TestNetworkWarmStart:
                     worker.kill()
                 else:
                     worker.communicate(timeout=10)
+
+
+class TestIncrementalSeeding:
+    """Reconnecting workers advertise a per-kernel seed-tier digest at
+    handshake; tiers whose content matches the coordinator's are skipped
+    by the seed stream — only new rows travel (PR 9)."""
+
+    def test_seed_digest_shape_and_content_sensitivity(self, tmp_store):
+        from repro.combinatorics.domination import domination_number
+        from repro.graphs.families import path
+
+        assert tmp_store.seed_digest() == {}  # empty tiers are omitted
+        _warm_domination_store(tmp_store)
+        digest = tmp_store.seed_digest()
+        assert digest, "warm store must advertise at least one tier"
+        for (kernel, version), value in digest.items():
+            assert isinstance(kernel, str) and isinstance(version, str)
+            count, _, content = value.partition(":")
+            assert int(count) >= 1
+            assert re.fullmatch(r"[0-9a-f]{16}", content)
+        # Same logical content, same digest.
+        assert tmp_store.seed_digest() == digest
+        # One new row moves exactly that kernel's tier.
+        domination_number(path(5))
+        tmp_store.flush()
+        KERNEL_CACHE.clear()
+        after = tmp_store.seed_digest()
+        assert after != digest
+        changed = {pair for pair in digest if after[pair] != digest[pair]}
+        # The new graph lands in domination_number plus its helper
+        # kernels (iso_key, the certificate) — never anything else.
+        assert "domination_number" in {kernel for kernel, _ in changed}
+        for pair in changed:
+            before_count = int(digest[pair].partition(":")[0])
+            after_count = int(after[pair].partition(":")[0])
+            assert after_count > before_count
+
+    def test_fresh_worker_without_digest_gets_full_stream(self, tmp_store):
+        graphs = _warm_domination_store(tmp_store)
+        with Coordinator([], persistent=True) as coord:
+            worker = _FakeWorker(coord.address)
+            try:
+                kind, welcome = worker.handshake()
+                assert kind == "welcome"
+                assert welcome["seed"]["enabled"]
+                assert worker.drain_seed() >= len(graphs)
+                worker.request_bye()
+            finally:
+                worker.close()
+            assert coord.rows_seeded >= len(graphs)
+
+    def test_matching_digest_skips_every_tier(self, tmp_store):
+        _warm_domination_store(tmp_store)
+        digest = tmp_store.seed_digest()
+        with Coordinator([], persistent=True) as coord:
+            worker = _FakeWorker(coord.address)
+            try:
+                kind, welcome = worker.handshake(seed_digest=digest)
+                assert kind == "welcome"
+                assert welcome["seed"]["enabled"]
+                assert worker.drain_seed() == 0  # nothing new: zero rows
+                worker.request_bye()
+            finally:
+                worker.close()
+            assert coord.rows_seeded == 0
+
+    def test_stale_tier_streams_in_full_others_skipped(self, tmp_store):
+        graphs = _warm_domination_store(tmp_store)
+        digest = dict(tmp_store.seed_digest())
+        # Pretend the worker's domination tier is out of date: the
+        # coordinator must re-stream that tier (dedup on the worker
+        # makes over-sending harmless) and still skip the rest.
+        stale = next(
+            pair for pair in digest if pair[0] == "domination_number"
+        )
+        digest[stale] = "0:" + "0" * 16
+        with Coordinator([], persistent=True) as coord:
+            worker = _FakeWorker(coord.address)
+            try:
+                worker.handshake(seed_digest=digest)
+                rows = worker.drain_seed()
+            finally:
+                worker.request_bye()
+                worker.close()
+            assert rows >= len(graphs)
+            tier_count = int(
+                tmp_store.seed_digest()[stale].partition(":")[0]
+            )
+            assert rows == tier_count  # exactly the stale tier, no more

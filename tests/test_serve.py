@@ -1,0 +1,368 @@
+"""repro.serve: the HTTP query front end on the persistent coordinator.
+
+The contract under test (ISSUE 9 acceptance):
+
+* anything banked in KernelCache/ResultStore answers synchronously with
+  ``"cached": true`` and enqueues nothing;
+* a cold query returns 202 + a job id, the job runs on a worker, and the
+  polled verdict equals the serial ``decide_one_round_solvability``
+  reference;
+* concurrent clients are all answered; identical in-flight queries share
+  one job;
+* malformed JSON is a 400, a dead coordinator a 503.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import store as store_pkg
+from repro.analysis.sweeps import _subshard_solvable
+from repro.config import ServeConfig
+from repro.engine import KERNEL_CACHE
+from repro.graphs import build_family
+from repro.models import symmetric_closed_above
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.serve import HttpConnection, QueryApp, ServeService
+from repro.verification import decide_one_round_solvability
+
+BUDGET = 64  # tiny models: every query here is sub-second
+
+
+@pytest.fixture
+def fresh_cache():
+    KERNEL_CACHE.clear()
+    yield
+    KERNEL_CACHE.clear()
+
+
+@pytest.fixture
+def service(fresh_cache):
+    config = (
+        ServeConfig.builder()
+        .http("127.0.0.1:0")
+        .workers(1)
+        .budget(BUDGET)
+        .build()
+    )
+    with ServeService(config) as svc:
+        yield svc
+
+
+def _request(svc, method, path, body=None):
+    host, port = svc.http_address
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _poll(svc, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = _request(svc, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        if payload["state"] != "pending":
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} still pending after {timeout}s")
+
+
+def _serial_reference(family, n, k):
+    model = symmetric_closed_above([build_family(family, n)])
+    full = sorted(model.iter_graphs(max_graphs=BUDGET))
+    return bool(decide_one_round_solvability(full, k).solvable)
+
+
+def _serve_counter(name):
+    return METRICS.snapshot()["counters"].get(name, 0)
+
+
+class TestColdAndWarmQueries:
+    def test_cold_miss_enqueues_and_poll_matches_serial_reference(
+        self, service
+    ):
+        status, payload = _request(
+            service, "POST", "/v1/solvability",
+            {"family": "cycle", "n": 3, "k": 1},
+        )
+        assert status == 202
+        assert payload["state"] == "pending"
+        record = _poll(service, payload["job"])
+        assert record["state"] == "done"
+        assert record["result"]["solvable"] == _serial_reference("cycle", 3, 1)
+
+    def test_warm_repeat_is_cached_and_enqueues_nothing(self, service):
+        query = {"family": "cycle", "n": 3, "k": 2}
+        status, payload = _request(service, "POST", "/v1/solvability", query)
+        assert status == 202
+        _poll(service, payload["job"])
+
+        enqueued = _serve_counter("serve.enqueued")
+        status, warm = _request(service, "POST", "/v1/solvability", query)
+        assert status == 200
+        assert warm["cached"] is True
+        assert warm["solvable"] == _serial_reference("cycle", 3, 2)
+        assert _serve_counter("serve.enqueued") == enqueued  # no new job
+
+    def test_resident_result_needs_no_worker(self, fresh_cache):
+        # Compute into the kernel cache first; a worker-less service
+        # (nothing could ever run a job) still answers synchronously.
+        g = build_family("cycle", 3)
+        expected = _subshard_solvable(g, 3, BUDGET, 1)
+        config = (
+            ServeConfig.builder().http("127.0.0.1:0").workers(0)
+            .budget(BUDGET).build()
+        )
+        with ServeService(config) as svc:
+            status, payload = _request(
+                svc, "POST", "/v1/solvability",
+                {"family": "cycle", "n": 3, "k": 1},
+            )
+        assert status == 200
+        assert payload["cached"] is True
+        assert payload["solvable"] == expected
+
+    def test_bounds_route(self, service):
+        status, payload = _request(
+            service, "POST", "/v1/bounds", {"family": "cycle", "n": 3}
+        )
+        assert status == 202
+        record = _poll(service, payload["job"])
+        assert record["state"] == "done"
+        lower, upper = record["result"]["lower"], record["result"]["upper"]
+        assert 1 <= lower <= upper <= 3
+        status, warm = _request(
+            service, "POST", "/v1/bounds", {"family": "cycle", "n": 3}
+        )
+        assert status == 200
+        assert warm["cached"] is True
+        assert (warm["lower"], warm["upper"]) == (lower, upper)
+
+    def test_identical_inflight_queries_share_one_job(self, fresh_cache):
+        # No workers: the first job provably stays in flight, so the
+        # repeat query must join it instead of enqueuing a duplicate.
+        config = (
+            ServeConfig.builder().http("127.0.0.1:0").workers(0)
+            .budget(BUDGET).build()
+        )
+        query = {"family": "star", "n": 3, "k": 1}
+        with ServeService(config) as svc:
+            status_a, a = _request(svc, "POST", "/v1/solvability", query)
+            status_b, b = _request(svc, "POST", "/v1/solvability", query)
+        assert status_a == status_b == 202
+        assert a["job"] == b["job"]
+
+
+class TestConcurrentClients:
+    def test_parallel_clients_all_answered(self, service):
+        queries = [
+            {"family": "cycle", "n": 3, "k": k} for k in (1, 2, 3)
+        ] + [
+            {"family": "star", "n": 3, "k": k} for k in (1, 2)
+        ]
+        results: list = [None] * len(queries)
+
+        def client(i):
+            status, payload = _request(
+                service, "POST", "/v1/solvability", queries[i]
+            )
+            assert status in (200, 202)
+            if status == 202:
+                payload = _poll(service, payload["job"])["result"]
+            results[i] = payload["solvable"]
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(queries))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        for i, query in enumerate(queries):
+            assert results[i] == _serial_reference(
+                query["family"], query["n"], query["k"]
+            ), query
+
+
+class TestClientErrors:
+    def test_malformed_json_is_400(self, service):
+        host, port = service.http_address
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            body = b"{not json"
+            sock.sendall(
+                b"POST /v1/solvability HTTP/1.1\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"\r\n" + body
+            )
+            reply = b""
+            while b"\r\n\r\n" not in reply:
+                reply += sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400 ")
+
+    def test_unknown_family_and_bad_fields_are_400(self, service):
+        for query in (
+            {"family": "nonsense", "n": 3, "k": 1},
+            {"family": "cycle", "n": "three", "k": 1},
+            {"family": "cycle", "n": 3, "k": 0},
+            {"family": "cycle", "n": 3, "k": 1, "backend": "quantum"},
+            [1, 2, 3],
+        ):
+            status, payload = _request(
+                service, "POST", "/v1/solvability", query
+            )
+            assert status == 400, query
+            assert "error" in payload
+
+    def test_unknown_routes_and_methods(self, service):
+        assert _request(service, "GET", "/v2/nope")[0] == 404
+        assert _request(service, "GET", "/v1/jobs/job-999")[0] == 404
+        status, payload = _request(service, "GET", "/v1/solvability")
+        assert status == 405
+
+    def test_dead_coordinator_miss_is_503(self, fresh_cache):
+        class _DeadCoordinator:
+            alive = False
+
+        app = QueryApp(budget=BUDGET, metrics=MetricsRegistry())
+        app.bind(_DeadCoordinator())
+        status, payload = app.handle(
+            "POST", "/v1/solvability",
+            json.dumps({"family": "cycle", "n": 3, "k": 1}).encode(),
+        )
+        assert status == 503
+        assert "coordinator" in payload["error"]
+
+
+class TestHttpLayer:
+    """The frontend handler in isolation (no sockets, no coordinator)."""
+
+    class _EchoApp:
+        def handle(self, method, path, body):
+            return 200, {"method": method, "path": path, "len": len(body)}
+
+    @staticmethod
+    def _split(raw: bytes):
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        return status, json.loads(body) if body else None
+
+    def test_request_reassembled_from_single_byte_feeds(self):
+        conn = HttpConnection(self._EchoApp())
+        request = (
+            b"POST /v1/x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+        )
+        out = b""
+        for i in range(len(request)):
+            out = conn.feed(request[i : i + 1])
+            if out:
+                assert i == len(request) - 1  # only the last byte answers
+        status, payload = self._split(out)
+        assert status == 200
+        assert payload == {"method": "POST", "path": "/v1/x", "len": 4}
+        assert conn.done
+
+    def test_response_declares_its_exact_length(self):
+        conn = HttpConnection(self._EchoApp())
+        out = conn.feed(b"GET / HTTP/1.1\r\n\r\n")
+        head, _, body = out.partition(b"\r\n\r\n")
+        declared = next(
+            int(line.split(b":")[1])
+            for line in head.split(b"\r\n")
+            if line.lower().startswith(b"content-length")
+        )
+        assert declared == len(body)
+
+    def test_malformed_request_line_is_400(self):
+        conn = HttpConnection(self._EchoApp())
+        status, _ = self._split(conn.feed(b"HELLO\r\n\r\n"))
+        assert status == 400
+
+    def test_oversized_header_block_is_431(self):
+        conn = HttpConnection(self._EchoApp())
+        out = conn.feed(b"GET / HTTP/1.1\r\nX-Pad: " + b"x" * (70 * 1024))
+        status, _ = self._split(out)
+        assert status == 431
+
+    def test_oversized_declared_body_is_413(self):
+        conn = HttpConnection(self._EchoApp())
+        out = conn.feed(
+            b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+        )
+        status, _ = self._split(out)
+        assert status == 413
+
+    def test_handler_exception_is_500_not_a_drop(self):
+        class _Boom:
+            def handle(self, method, path, body):
+                raise RuntimeError("kaboom")
+
+        conn = HttpConnection(_Boom())
+        status, payload = self._split(conn.feed(b"GET / HTTP/1.1\r\n\r\n"))
+        assert status == 500
+        assert "kaboom" in payload["error"]
+
+
+class TestObservability:
+    def test_status_shares_the_dist_status_shape(self, service):
+        from repro.dist import probe_status
+
+        status, payload = _request(service, "GET", "/v1/status")
+        assert status == 200
+        probed = probe_status(service.dist_address)
+        # One shape: /v1/status is the coordinator's status_snapshot()
+        # (what `dist status --json` prints) plus the serve block.
+        assert set(probed) <= set(payload)
+        assert payload["serve"]["jobs"].keys() == {"pending", "done", "failed"}
+
+    def test_metrics_route_exposes_serve_counters(self, service):
+        _request(
+            service, "POST", "/v1/solvability",
+            {"family": "cycle", "n": 3, "k": 3},
+        )
+        status, payload = _request(service, "GET", "/v1/metrics")
+        assert status == 200
+        assert payload["counters"]["serve.queries"] >= 1
+        assert "dist_status" in payload["stats"]
+
+    def test_store_backed_service_answers_across_restart(
+        self, fresh_cache, tmp_path
+    ):
+        """Warm repeat from the *store* tier: a second service instance
+        (cold kernel cache) answers without enqueuing, like a restart."""
+        path = str(tmp_path / "serve.sqlite")
+        config = (
+            ServeConfig.builder().http("127.0.0.1:0").workers(1)
+            .budget(BUDGET)
+            .store({"mode": "rw", "path": path})
+            .build()
+        )
+        query = {"family": "cycle", "n": 3, "k": 1}
+        try:
+            with ServeService(config) as svc:
+                status, payload = _request(svc, "POST", "/v1/solvability", query)
+                assert status == 202
+                _poll(svc, payload["job"])
+            KERNEL_CACHE.clear()  # simulate a process restart
+            enqueued = _serve_counter("serve.enqueued")
+            with ServeService(config) as svc:
+                status, warm = _request(svc, "POST", "/v1/solvability", query)
+                assert status == 200
+                assert warm["cached"] is True
+                assert _serve_counter("serve.enqueued") == enqueued
+        finally:
+            store_pkg.configure(path=store_pkg.DEFAULT_PATH, mode="off")
