@@ -88,7 +88,7 @@ from .graphs import Digraph
 from .models import ClosedAboveModel, simple_closed_above, symmetric_closed_above
 from .verification import decide_one_round_solvability, verify_algorithm
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "Digraph",

@@ -13,7 +13,9 @@ Usage::
                           [--split-threshold 2048] [--subshard on|off]
                           [--backend bitset|reference|sat|check]
                           [--trace FILE]
+                          [--checkpoint FILE] [--resume-from FILE]
     python -m repro worker --connect HOST:7071 [--jobs 2] [--retry 30]
+                           [--spawn auto|N [--max-respawns 3]]
     python -m repro dist status HOST:7071 [--json] [--watch N [--interval S]]
     python -m repro trace summary FILE [--json] [--top 8]
     python -m repro bench run [--quick] [--out FILE] [--scenario NAME ...]
@@ -234,14 +236,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"got {args.split_threshold}"
         )
     from .config import SweepConfig
-    from .errors import ConfigError
+    from .errors import ConfigError, DistError
 
     trace_path = _start_trace(args)
     try:
         config = SweepConfig.from_args(args)
     except ConfigError as exc:
         raise SystemExit(f"sweep: {exc}") from exc
-    report = solvability_sweep(config=config, executor=_executor_for(args))
+    try:
+        report = solvability_sweep(
+            config=config,
+            executor=_executor_for(args),
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume_from,
+        )
+    except DistError as exc:
+        # A missing/mismatched checkpoint must fail loudly, not silently
+        # become a fresh run.
+        raise SystemExit(f"sweep: {exc}") from exc
     if args.json:
         payload = {
             "n": report.n,
@@ -249,6 +261,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "total_classes": report.total_classes,
             "sharded": report.sharded,
             "resumed": report.resumed,
+            "replayed": report.replayed,
+            "checkpoint_dropped": report.checkpoint_dropped,
             "split_threshold": report.split_threshold,
             "subshard": report.subshard,
             "backend": report.backend,
@@ -371,6 +385,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         service = ServeService(
             config,
             log=lambda message: print(f"[serve] {message}", file=sys.stderr),
+            checkpoint=args.checkpoint,
         ).start()
     except (ConfigError, DistError, VerificationError, OSError) as exc:
         raise SystemExit(f"serve: {exc}") from exc
@@ -393,19 +408,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
-    from .dist import parse_address, run_workers
+    from .dist import Supervisor, parse_address, resolve_spawn, run_workers
     from .errors import DistError
 
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be a positive integer, got {args.jobs}")
+    log = lambda message: print(message, file=sys.stderr)  # noqa: E731
     try:
         host, port = parse_address(args.connect)
+        if args.spawn is not None:
+            # Supervised fleet: keep N workers alive across crashes.
+            workers = resolve_spawn(args.spawn)
+            report = Supervisor(
+                host,
+                port,
+                workers=workers,
+                retry=args.retry,
+                max_respawns=args.max_respawns,
+                log=log,
+            ).run()
+            print(report.describe())
+            return 0 if report.clean else 1
         reports = run_workers(
             host,
             port,
             jobs=args.jobs,
             retry=args.retry,
-            log=lambda message: print(message, file=sys.stderr),
+            log=log,
         )
     except DistError as exc:
         raise SystemExit(f"worker: {exc}") from exc
@@ -420,7 +449,14 @@ def _render_dist_status(address: str, status: dict) -> str:
         f"coordinator {address}: "
         f"{status['completed']}/{status['jobs']} jobs done, "
         f"queue depth {status['queue_depth']}, "
-        f"{status['leases']} lease(s), {status['requeues']} requeue(s)",
+        f"{status['leases']} lease(s), {status['requeues']} requeue(s), "
+        f"{status.get('respawns', 0)} respawn(s), "
+        f"{status.get('replayed', 0)} replayed"
+        + (
+            " [cost-scaled leases]"
+            if status.get("lease_scaling")
+            else ""
+        ),
         f"  store seeding {'on' if status['seed_store'] else 'off'}, "
         f"remote loads {'on' if status['remote_loads'] else 'off'}: "
         f"{status['rows_seeded']} row(s) seeded, "
@@ -744,6 +780,13 @@ def main(argv: list[str] | None = None) -> int:
         "--store-path", metavar="FILE", default=None,
         help="store database path (default: the store's own default)",
     )
+    p_serve.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="snapshot the embedded coordinator's in-flight jobs here; a "
+        "restarted service started with the same path resubmits any "
+        "submitted-but-unfinished jobs automatically (run-state only — "
+        "not part of the config fingerprint)",
+    )
     add_backend_arg(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -765,6 +808,19 @@ def main(argv: list[str] | None = None) -> int:
         "--retry", type=float, default=10.0,
         help="seconds to keep retrying the initial connection, so workers "
         "may be started before the coordinator (default: 10)",
+    )
+    p_worker.add_argument(
+        "--spawn", metavar="auto|N", default=None,
+        help="supervised mode: keep N worker processes ('auto' sizes to "
+        "this machine's cores) alive against the coordinator, respawning "
+        "any that die without reporting (SIGKILL, OOM) after a jittered "
+        "backoff; respawned workers reconnect warm via the incremental "
+        "store seed digest.  Supersedes --jobs",
+    )
+    p_worker.add_argument(
+        "--max-respawns", type=int, default=3,
+        help="with --spawn: restart budget per worker slot before the "
+        "slot is abandoned with an error (default: 3)",
     )
     p_worker.set_defaults(func=cmd_worker)
 
@@ -872,6 +928,20 @@ def main(argv: list[str] | None = None) -> int:
         "prefers wall-clock timings banked by earlier sweeps and bench "
         "runs, falling back to static for unseen classes (default: "
         "static)",
+    )
+    p_sweep.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="snapshot queue progress (completed job names, requeues) "
+        "atomically to FILE as shards land, alongside the store; a "
+        "killed sweep resumes from it with --resume-from",
+    )
+    p_sweep.add_argument(
+        "--resume-from", metavar="FILE", default=None, dest="resume_from",
+        help="rehydrate the remaining plan from a checkpoint written by "
+        "an earlier --checkpoint run: completed jobs replay as warm "
+        "store hits (zero kernel recompute), only the remainder is "
+        "scheduled.  Pass the same FILE to both flags for a "
+        "crash-restart loop",
     )
     p_sweep.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"

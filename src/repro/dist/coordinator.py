@@ -106,13 +106,25 @@ _FAREWELL_GRACE = 5.0
 #: buffers finish before force-closing every connection.
 _CLOSE_GRACE = 1.5
 
+#: Cost-scaled lease bounds.  A job's lease is the base ``lease_timeout``
+#: scaled by its cost estimate relative to the batch median, clamped to
+#: this band: cheap jobs are reclaimed from a dead worker in a quarter of
+#: the fixed timeout, and a genuinely heavy sub-shard gets up to 8x
+#: before the coordinator calls its worker dead.  The advertised
+#: heartbeat shrinks to a third of the *smallest* possible lease, so a
+#: live-but-slow worker always lands several heartbeats per lease.
+_MIN_LEASE_SCALE = 0.25
+_MAX_LEASE_SCALE = 8.0
+
 
 @dataclass
 class _Lease:
-    """One outstanding job assignment: who holds it and until when."""
+    """One outstanding job assignment: who holds it, until when, and the
+    (cost-scaled) timeout a heartbeat renews it by."""
 
     owner: int
     deadline: float
+    timeout: float
 
 
 @dataclass
@@ -243,9 +255,30 @@ class Coordinator:
         whatever ``handler.feed(data)`` returns is written back, and the
         connection closes once ``handler.done`` is true and the buffer
         drains.  See :mod:`repro.serve` for the HTTP frontend.
+    completed:
+        Submission indices already completed by an interrupted earlier
+        run (from a checkpoint).  They are never dispatched to workers;
+        ``start()`` replays them *in this process*, where the warm store
+        that banked them makes each a pure hit, so reductions and result
+        assembly see real outcomes without recomputing a kernel or
+        paying a worker round trip.  Batch mode only.
+    checkpoint:
+        Optional :class:`~repro.dist.checkpoint.CheckpointWriter`.
+        Completions, requeue counts, and (in persistent mode) the
+        submitted-but-unfinished job objects are recorded as they
+        happen — throttled — and the final snapshot is flushed at
+        ``close()``, so a killed coordinator leaves a resumable file
+        next to the store.
     log:
         Optional callable receiving one-line progress strings (worker
         connects/disconnects, requeues); silent when ``None``.
+
+    Lease sizing: when any task carries a ``cost`` estimate (the sweep
+    planner sets them), each job's lease is ``lease_timeout`` scaled by
+    its cost relative to the batch median, clamped to
+    [``0.25x``, ``8x``] — so a dying worker's cheap jobs re-lease long
+    before the fixed timeout while a heavy sub-shard is not falsely
+    requeued.  Cost-less batches keep the fixed timeout exactly.
     """
 
     def __init__(
@@ -264,6 +297,8 @@ class Coordinator:
         persistent: bool = False,
         on_complete: Callable[[int, object], object] | None = None,
         frontends: Sequence[tuple] = (),
+        completed=(),
+        checkpoint=None,
         log: Callable[[str], None] | None = None,
     ):
         if lease_timeout <= 0:
@@ -286,10 +321,42 @@ class Coordinator:
         self._persistent = bool(persistent)
         self._on_complete = on_complete
         self._frontend_specs = list(frontends)
+        self._checkpoint = checkpoint
         self._log = log or (lambda message: None)
 
+        completed_set = frozenset(completed)
+        if completed_set and self._persistent:
+            raise DistError(
+                "completed= is batch-mode resume state; a persistent "
+                "coordinator rehydrates via submit() instead"
+            )
+        for index in completed_set:
+            if not 0 <= index < len(self._tasks):
+                raise DistError(
+                    f"completed index {index} out of range for "
+                    f"{len(self._tasks)} task(s)"
+                )
+        self._replay = sorted(completed_set)
+        # Cost-scaled leases: the batch median is the reference point, so
+        # "heavy" and "cheap" are relative to this plan, not absolute.
+        costs = sorted(
+            cost
+            for cost in (getattr(t, "cost", None) for t in self._tasks)
+            if cost is not None and cost > 0
+        )
+        self._cost_ref = costs[len(costs) // 2] if costs else None
+        self._heartbeat = (
+            self._lease_timeout / 3
+            if self._cost_ref is None
+            else self._lease_timeout * _MIN_LEASE_SCALE / 3
+        )
+
         self._lock = threading.Lock()
-        self._pending: deque[int] = deque(range(len(self._tasks)))
+        self._pending: deque[int] = deque(
+            index
+            for index in range(len(self._tasks))
+            if index not in completed_set
+        )
         self._leases: dict[int, _Lease] = {}
         self._outcomes: list[JobResult | JobFailure | None] = [None] * len(
             self._tasks
@@ -303,6 +370,8 @@ class Coordinator:
         self._rows_seeded = 0
         self._loads_served = 0
         self._requeues = 0
+        self._respawns = 0
+        self._replayed = 0
         self._owner_counter = 0
         # Stats deltas produced in *other* processes — the only ones this
         # process must absorb into its cache/store totals at the end (an
@@ -354,6 +423,19 @@ class Coordinator:
             return self._requeues
 
     @property
+    def respawns(self) -> int:
+        """Worker connections that announced themselves as supervisor
+        respawns (``hello`` carried a ``respawn`` generation)."""
+        with self._lock:
+            return self._respawns
+
+    @property
+    def replayed(self) -> int:
+        """Checkpoint-completed jobs replayed in-process at start()."""
+        with self._lock:
+            return self._replayed
+
+    @property
     def rows_seeded(self) -> int:
         """Store rows streamed to connecting workers (all handshakes)."""
         with self._lock:
@@ -382,6 +464,9 @@ class Coordinator:
                 "queue_depth": len(self._pending),
                 "leases": len(self._leases),
                 "requeues": self._requeues,
+                "respawns": self._respawns,
+                "replayed": self._replayed,
+                "lease_scaling": self._cost_ref is not None,
                 "seed_store": self._seed_store,
                 "remote_loads": self._remote_loads,
                 "rows_seeded": self._rows_seeded,
@@ -411,6 +496,8 @@ class Coordinator:
         with self._lock:
             return {
                 "requeues": self._requeues,
+                "respawns": self._respawns,
+                "replayed": self._replayed,
                 "rows_seeded": self._rows_seeded,
                 "loads_served": self._loads_served,
                 "workers": [
@@ -466,7 +553,35 @@ class Coordinator:
         )
         self._loop_thread.start()
         self._log(f"coordinator listening on {self.address[0]}:{self.address[1]}")
+        if self._replay:
+            self._replay_completed()
         return self.address
+
+    def _replay_completed(self) -> None:
+        """Re-land checkpoint-completed jobs in this process.
+
+        Against the warm store that banked them each replay is a pure
+        hit: accounting (values for reductions, rows for assembly)
+        without kernel recomputation.  Workers connecting meanwhile only
+        ever see the genuinely remaining jobs — replayed indices were
+        never put on the pending queue.
+        """
+        from ..engine.batch import execute_job
+
+        for index in self._replay:
+            outcome = execute_job(self._tasks[index])
+            if isinstance(outcome, JobFailure):
+                outcome = replace(outcome, index=index)
+            self._complete(index, outcome, True)
+        with self._lock:
+            self._replayed = len(self._replay)
+        TRACER.instant(
+            "dist:replay", cat="dist", jobs=len(self._replay)
+        )
+        self._log(
+            f"replayed {len(self._replay)} checkpointed job(s) "
+            "against the warm store"
+        )
 
     def _bind(self, host: str, port: int, label: str) -> socket.socket:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -540,12 +655,33 @@ class Coordinator:
             self._outcomes.append(None)
             self._remaining += 1
             self._pending.append(index)
+        self._record_pending()
         self._wake()
         return index
+
+    def _record_pending(self) -> None:
+        """Checkpoint the submitted-but-unfinished jobs (persistent mode).
+
+        Batch-mode coordinators re-derive their remaining work from the
+        plan, so only a persistent queue — whose jobs arrived over HTTP
+        and exist nowhere else — needs the job objects themselves
+        persisted.
+        """
+        if self._checkpoint is None or not self._persistent:
+            return
+        with self._lock:
+            live = sorted(set(self._pending) | set(self._leases))
+            jobs = tuple(self._tasks[i] for i in live)
+        self._checkpoint.record_pending(jobs)
 
     def close(self) -> None:
         """Stop listening, drain in-flight farewells, stop the loop."""
         self._closing = True
+        if self._checkpoint is not None:
+            try:
+                self._checkpoint.flush()
+            except OSError as exc:  # pragma: no cover - disk full etc.
+                self._log(f"final checkpoint write failed: {exc}")
         if self._owns_store and self._store is not None:
             self._store.coordinator_owned -= 1
             self._owns_store = False
@@ -956,8 +1092,12 @@ class Coordinator:
         # in-process worker already reads this very store directly.
         seed = self._seed_store and self._store is not None and not conn.local
         remote = self._remote_loads and self._store is not None and not conn.local
+        respawn = payload.get("respawn")
+        respawned = isinstance(respawn, int) and respawn > 0
         with self._lock:
             self._workers_seen.add(conn.worker_name)
+            if respawned:
+                self._respawns += 1
             conn.info = self._worker_info.setdefault(
                 conn.worker_name, _WorkerInfo(connected_at=time.monotonic())
             )
@@ -969,7 +1109,7 @@ class Coordinator:
                 "version": PROTOCOL_VERSION,
                 "jobs": len(self._tasks),
                 "warmup": self._warmup,
-                "heartbeat": self._lease_timeout / 3,
+                "heartbeat": self._heartbeat,
                 "seed": {"enabled": seed, "remote": remote},
                 # Observability: the coordinator's wall clock (the
                 # worker's clock-offset reference point) and whether
@@ -978,7 +1118,13 @@ class Coordinator:
                 "trace": TRACER.enabled,
             },
         )
-        self._log(f"worker {conn.worker_name} connected")
+        if respawned:
+            self._log(
+                f"worker {conn.worker_name} connected "
+                f"(supervisor respawn, generation {respawn})"
+            )
+        else:
+            self._log(f"worker {conn.worker_name} connected")
         if seed:
             versions, skipped = self._seed_plan(payload.get("seed_digest"))
             if skipped:
@@ -1017,6 +1163,25 @@ class Coordinator:
     # ------------------------------------------------------------------
     # Queue state transitions (all under the lock)
     # ------------------------------------------------------------------
+    def _lease_timeout_for(self, index: int) -> float:
+        """Cost-scaled lease for one job (call under the lock).
+
+        With no cost metadata anywhere in the batch this is exactly the
+        fixed ``lease_timeout``.  Otherwise the job's estimate relative
+        to the batch median scales it within
+        [``_MIN_LEASE_SCALE``, ``_MAX_LEASE_SCALE``], floored at three
+        advertised heartbeats so a lease can never expire between a live
+        worker's heartbeats.
+        """
+        base = self._lease_timeout
+        if self._cost_ref is None:
+            return base
+        cost = getattr(self._tasks[index], "cost", None)
+        if cost is None or cost <= 0:
+            return base
+        scale = min(max(cost / self._cost_ref, _MIN_LEASE_SCALE), _MAX_LEASE_SCALE)
+        return max(base * scale, 3 * self._heartbeat)
+
     def _assign(self, owner: int, held: set[int]) -> tuple[str, dict]:
         with self._lock:
             if self._remaining == 0 and not self._persistent:
@@ -1025,14 +1190,16 @@ class Coordinator:
                 return "done", {}
             if self._pending:
                 index = self._pending.popleft()
+                timeout = self._lease_timeout_for(index)
                 self._leases[index] = _Lease(
                     owner=owner,
-                    deadline=time.monotonic() + self._lease_timeout,
+                    deadline=time.monotonic() + timeout,
+                    timeout=timeout,
                 )
                 held.add(index)
                 TRACER.instant(
                     "dist:lease", cat="dist", index=index, owner=owner,
-                    job=self._tasks[index].name,
+                    job=self._tasks[index].name, timeout=round(timeout, 3),
                 )
                 return "job", {"index": index, "job": self._tasks[index]}
             return "wait", {"delay": self._wait_delay}
@@ -1041,7 +1208,7 @@ class Coordinator:
         with self._lock:
             lease = self._leases.get(index) if isinstance(index, int) else None
             if lease is not None and lease.owner == owner:
-                lease.deadline = time.monotonic() + self._lease_timeout
+                lease.deadline = time.monotonic() + lease.timeout
 
     def _complete(
         self, index: int, outcome: JobResult | JobFailure, local: bool
@@ -1096,6 +1263,12 @@ class Coordinator:
             if outcome.store_rows:
                 self._store.absorb_rows(outcome.store_rows)
                 self._store.flush()
+        if self._checkpoint is not None:
+            # After the store flush on purpose: a checkpoint must never
+            # claim a completion whose rows a crash could still lose.
+            if isinstance(outcome, JobResult):
+                self._checkpoint.record_done(self._tasks[index].name)
+            self._record_pending()
         for rid in ready:
             self._run_reduction(rid)
         self._maybe_done()
@@ -1177,20 +1350,23 @@ class Coordinator:
         now = time.monotonic()
         with self._lock:
             expired = [
-                index
+                (index, lease.timeout)
                 for index, lease in self._leases.items()
                 if lease.deadline < now
             ]
-            for index in expired:
+            for index, _ in expired:
                 del self._leases[index]
                 self._pending.appendleft(index)
                 self._requeues += 1
-        for index in expired:
+            requeues = self._requeues
+        for index, timeout in expired:
             TRACER.instant("dist:requeue", cat="dist", index=index)
             self._log(
-                f"requeued job {index} after {self._lease_timeout:.0f}s "
+                f"requeued job {index} after {timeout:.1f}s "
                 "without a heartbeat"
             )
+        if expired and self._checkpoint is not None:
+            self._checkpoint.record_requeues(requeues)
 
     def _expire_farewells(self) -> None:
         """Close post-``done`` connections whose farewell never came."""
@@ -1210,8 +1386,11 @@ class Coordinator:
                     self._pending.appendleft(index)
                     self._requeues += 1
                     requeued.append(index)
+            requeues = self._requeues
         for index in requeued:
             self._log(f"requeued job {index} after {worker} disconnected")
+        if requeued and self._checkpoint is not None:
+            self._checkpoint.record_requeues(requeues)
 
     # ------------------------------------------------------------------
     # Store data plane (remote loads) and the status probe

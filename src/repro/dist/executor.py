@@ -64,6 +64,8 @@ class Executor(Protocol):
         warmup: Callable[[], object] | None = None,
         on_error: str = "raise",
         reductions: Sequence = (),
+        completed: Sequence[int] = (),
+        checkpoint=None,
     ) -> BatchResult: ...
 
 
@@ -72,13 +74,24 @@ class SerialExecutor:
 
     jobs = 1
 
-    def run(self, tasks, *, warmup=None, on_error="raise", reductions=()):
+    def run(
+        self,
+        tasks,
+        *,
+        warmup=None,
+        on_error="raise",
+        reductions=(),
+        completed=(),
+        checkpoint=None,
+    ):
         return run_batch(
             tasks,
             jobs=1,
             warmup=warmup,
             on_error=on_error,
             reductions=reductions,
+            completed=completed,
+            checkpoint=checkpoint,
         )
 
     def __repr__(self) -> str:
@@ -93,13 +106,24 @@ class PoolExecutor:
             raise DistError(f"jobs must be positive, got {jobs}")
         self.jobs = jobs
 
-    def run(self, tasks, *, warmup=None, on_error="raise", reductions=()):
+    def run(
+        self,
+        tasks,
+        *,
+        warmup=None,
+        on_error="raise",
+        reductions=(),
+        completed=(),
+        checkpoint=None,
+    ):
         return run_batch(
             tasks,
             jobs=self.jobs,
             warmup=warmup,
             on_error=on_error,
             reductions=reductions,
+            completed=completed,
+            checkpoint=checkpoint,
         )
 
     def __repr__(self) -> str:
@@ -141,12 +165,23 @@ class DistExecutor:
         self.last_workers = 0
         self.last_rows_seeded = 0
         self.last_loads_served = 0
+        self.last_respawns = 0
+        self.last_replayed = 0
         self.last_metrics: dict | None = None
         """Coordinator-side metrics of the last run (the same mapping as
         ``BatchResult.dist_metrics``): per-worker throughput snapshots
         plus the seed/serve/requeue counters."""
 
-    def run(self, tasks, *, warmup=None, on_error="raise", reductions=()):
+    def run(
+        self,
+        tasks,
+        *,
+        warmup=None,
+        on_error="raise",
+        reductions=(),
+        completed=(),
+        checkpoint=None,
+    ):
         from .coordinator import Coordinator
 
         coordinator = Coordinator(
@@ -158,6 +193,8 @@ class DistExecutor:
             seed_store=self.seed_store,
             remote_loads=self.remote_loads,
             reductions=reductions,
+            completed=completed,
+            checkpoint=checkpoint,
             log=self.log,
         )
         with coordinator:
@@ -169,6 +206,8 @@ class DistExecutor:
         self.last_workers = result.jobs
         self.last_rows_seeded = coordinator.rows_seeded
         self.last_loads_served = coordinator.loads_served
+        self.last_respawns = coordinator.respawns
+        self.last_replayed = coordinator.replayed
         self.last_metrics = result.dist_metrics
         return result
 

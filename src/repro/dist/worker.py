@@ -273,6 +273,7 @@ def run_worker(
     *,
     worker_id: str | None = None,
     retry: float = 10.0,
+    respawn: int = 0,
     log=None,
 ) -> WorkerReport:
     """Serve one coordinator until it reports the batch done.
@@ -284,6 +285,12 @@ def run_worker(
     reachable or rejects the protocol version — a coordinator that
     vanishes mid-run yields a report with ``clean=False`` instead, since
     by then the batch may have completed without us.
+
+    ``respawn`` is the supervisor's restart generation (0 = a first
+    launch).  A positive value rides in the ``hello`` so the coordinator
+    can count supervised respawns in its status surface; the respawned
+    worker's seed digest rides alongside exactly as on a first connect,
+    which is what makes restarts warm-start incrementally.
     """
     log = log or (lambda message: None)
     name = worker_id or f"{socket.gethostname()}:{os.getpid()}"
@@ -306,6 +313,8 @@ def run_worker(
             "host": socket.gethostname(),
             "pid": os.getpid(),
         }
+        if respawn > 0:
+            hello["respawn"] = int(respawn)
         if store is not None:
             # Incremental seeding: advertise what this store can already
             # answer, per (kernel, version), so a reconnecting worker is
@@ -482,10 +491,13 @@ def _report(
     )
 
 
-def _worker_process(host, port, worker_id, retry, queue) -> None:
-    """Entry point of a spawned worker process (``--jobs N``)."""
+def _worker_process(host, port, worker_id, retry, queue, respawn=0) -> None:
+    """Entry point of a spawned worker process (``--jobs N`` and the
+    supervisor's slots)."""
     try:
-        report = run_worker(host, port, worker_id=worker_id, retry=retry)
+        report = run_worker(
+            host, port, worker_id=worker_id, retry=retry, respawn=respawn
+        )
         queue.put(report)
     except Exception as exc:
         queue.put(DistError(str(exc)))

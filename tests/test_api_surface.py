@@ -48,7 +48,7 @@ class TestPackageSurface:
                 assert getattr(module, name) is not None, (module, name)
 
     def test_version(self):
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
 
     def test_quickstart_docstring_example(self):
         """The example in repro.__doc__ must keep working."""

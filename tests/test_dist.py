@@ -12,6 +12,7 @@ from __future__ import annotations
 import operator
 import os
 import re
+import signal
 import socket
 import subprocess
 import sys
@@ -23,13 +24,17 @@ import pytest
 import repro.store as store_pkg
 from repro.analysis.sweeps import solvability_sweep
 from repro.dist import (
+    CheckpointWriter,
     Coordinator,
     DistExecutor,
     PoolExecutor,
     SerialExecutor,
+    Supervisor,
+    load_checkpoint,
     make_executor,
     parse_address,
     probe_status,
+    resolve_spawn,
 )
 from repro.dist import protocol as protocol_module
 from repro.dist.protocol import (
@@ -1026,3 +1031,204 @@ class TestIncrementalSeeding:
                 tmp_store.seed_digest()[stale].partition(":")[0]
             )
             assert rows == tier_count  # exactly the stale tier, no more
+
+
+def _crash_once(sentinel: str, value: int) -> int:
+    """Kill the executing worker the first time, succeed ever after.
+
+    The sentinel file is the cross-generation memory: generation 1
+    creates it and SIGKILLs itself mid-job (no report, no farewell —
+    exactly the crash the supervisor must detect), generation 2 finds it
+    and completes normally.
+    """
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 7
+
+
+def _crash_always(value: int) -> int:
+    """Kill the executing worker unconditionally (budget-exhaustion)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    return value  # pragma: no cover - never reached
+
+
+class TestCostScaledLeases:
+    """Leases scale with the planner's per-job cost estimate (PR 10)."""
+
+    def _costed_tasks(self):
+        return [
+            Job("cheap", operator.mul, (1, 7), cost=1.0),
+            Job("heavy-a", operator.mul, (2, 7), cost=9.0),
+            Job("heavy-b", operator.mul, (3, 7), cost=9.0),
+            Job("heavy-c", operator.mul, (4, 7), cost=9.0),
+        ]
+
+    def test_lease_scales_with_cost_and_clamps(self):
+        with Coordinator(self._costed_tasks(), lease_timeout=4.0) as coord:
+            assert coord.status_snapshot()["lease_scaling"] is True
+            with coord._lock:
+                cheap = coord._lease_timeout_for(0)
+                heavy = coord._lease_timeout_for(1)
+            # cost 1 vs median 9 hits the 0.25x clamp; the median-cost
+            # jobs keep the base timeout.
+            assert cheap == pytest.approx(4.0 * 0.25)
+            assert heavy == pytest.approx(4.0)
+            assert cheap >= 3 * coord._heartbeat  # heartbeats fit inside
+
+    def test_costless_batch_keeps_fixed_leases(self):
+        with Coordinator(_mul_jobs(2), lease_timeout=4.0) as coord:
+            assert coord.status_snapshot()["lease_scaling"] is False
+            with coord._lock:
+                assert coord._lease_timeout_for(0) == pytest.approx(4.0)
+                assert coord._lease_timeout_for(1) == pytest.approx(4.0)
+
+    def test_wedged_worker_on_cheap_job_requeues_early(self, fresh_cache):
+        """A silent worker holding a *cheap* job loses its lease on the
+        cost-scaled deadline (1s here) — well before the old fixed
+        timeout (4s) would have reclaimed it."""
+        tasks = self._costed_tasks()
+        with Coordinator(
+            tasks, lease_timeout=4.0, wait_delay=0.05
+        ) as coord:
+            silent = _FakeWorker(coord.address, name="silent")
+            silent.handshake()
+            kind, payload = silent.next_job()
+            assert kind == "job"
+            assert payload["index"] == 0  # FIFO: the cheap job
+            start = time.monotonic()
+            try:
+                deadline = start + 3.5
+                while coord.requeues == 0 and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                elapsed = time.monotonic() - start
+                assert coord.requeues >= 1
+                assert elapsed < 3.5  # reclaimed before the base timeout
+            finally:
+                silent.close()
+
+
+class TestDistCheckpoint:
+    """Coordinator-side checkpoint recording and completed-job replay."""
+
+    def test_completed_jobs_replay_in_parent_not_redispatch(
+        self, fresh_cache
+    ):
+        tasks = _mul_jobs(4)
+        result = _serve_with_local_worker(tasks, completed=[0, 2])
+        assert result.values == (0, 7, 14, 21)
+        metrics = result.dist_metrics
+        assert metrics["replayed"] == 2
+        # The worker only ever saw the two non-replayed jobs.
+        assert sum(w["completed"] for w in metrics["workers"]) == 2
+
+    def test_serve_records_checkpoint_completions(
+        self, fresh_cache, tmp_path
+    ):
+        tasks = _mul_jobs(4)
+        path = tmp_path / "dist.ckpt"
+        writer = CheckpointWriter(
+            path=path,
+            fingerprint="fp",
+            tasks=tuple(t.name for t in tasks),
+            interval=0.0,
+        )
+        result = _serve_with_local_worker(tasks, checkpoint=writer)
+        assert result.values == (0, 7, 14, 21)
+        state = load_checkpoint(path)
+        assert state.fingerprint == "fp"
+        assert set(state.completed) == {t.name for t in tasks}
+        assert state.remaining == ()
+
+    def test_persistent_coordinator_rejects_completed(self):
+        with pytest.raises(DistError, match="batch-mode"):
+            Coordinator([], persistent=True, completed=[0])
+
+    def test_out_of_range_completed_rejected(self):
+        with pytest.raises(DistError, match="completed"):
+            Coordinator(_mul_jobs(2), completed=[5])
+
+
+class TestSupervisor:
+    """Worker supervision: crash detection, respawn, warm reconnect."""
+
+    def test_resolve_spawn(self):
+        assert resolve_spawn("auto") >= 1
+        assert resolve_spawn("3") == 3
+        assert resolve_spawn(2) == 2
+        with pytest.raises(DistError, match="--spawn"):
+            resolve_spawn("many")
+        with pytest.raises(DistError, match="positive"):
+            resolve_spawn("0")
+
+    def _supervise_while_serving(self, coord, **kwargs):
+        """Run a Supervisor against ``coord`` while serving its batch."""
+        host, port = coord.address
+        holder = {}
+
+        def supervise():
+            holder["report"] = Supervisor(
+                host, port, retry=15.0, backoff=0.05, **kwargs
+            ).run()
+
+        thread = threading.Thread(target=supervise, daemon=True)
+        thread.start()
+        result = coord.serve()
+        thread.join(timeout=30.0)
+        assert "report" in holder, "supervisor did not finish"
+        return result, holder["report"]
+
+    def test_crashed_worker_respawns_and_batch_completes(
+        self, fresh_cache, tmp_path
+    ):
+        sentinel = str(tmp_path / "crashed-once")
+        tasks = [Job("crash", _crash_once, (sentinel, 3))] + _mul_jobs(3)
+        with Coordinator(tasks, wait_delay=0.05) as coord:
+            result, report = self._supervise_while_serving(
+                coord, workers=1
+            )
+            assert coord.respawns == 1  # generation 2 announced itself
+            snapshot = coord.status_snapshot()
+        assert result.values == (21, 0, 7, 14)
+        assert report.clean, report.errors
+        assert report.respawns == 1
+        assert report.launched == 2
+        assert snapshot["respawns"] == 1
+
+    def test_respawn_budget_exhaustion_reports_error(
+        self, fresh_cache, tmp_path
+    ):
+        tasks = [Job("fatal", _crash_always, (1,))]
+        with Coordinator(tasks, wait_delay=0.05) as coord:
+            host, port = coord.address
+            report = Supervisor(
+                host, port, workers=1, retry=15.0, backoff=0.05,
+                max_respawns=0,
+            ).run()
+        assert not report.clean
+        assert report.respawns == 0
+        assert "respawn budget exhausted" in report.errors[0]
+
+    def test_respawned_worker_reconnects_warm(self, tmp_store, tmp_path):
+        """Both generations of a supervised worker share the machine's
+        store, so their hello digests match the coordinator's tiers and
+        the respawn re-seeds zero rows (PR 9 incremental seeding)."""
+        from repro.combinatorics.domination import domination_number
+
+        graphs = _warm_domination_store(tmp_store)
+        sentinel = str(tmp_path / "crashed-once")
+        tasks = [Job("crash", _crash_once, (sentinel, 3))] + [
+            Job(f"dom[{i}]", domination_number, (g,))
+            for i, g in enumerate(graphs)
+        ]
+        with Coordinator(tasks, wait_delay=0.05) as coord:
+            result, report = self._supervise_while_serving(
+                coord, workers=1
+            )
+            assert coord.respawns == 1
+            assert coord.rows_seeded == 0  # both generations came warm
+        assert report.clean and report.respawns == 1
+        assert result.values[1:] == tuple(
+            domination_number.__wrapped__(g) for g in graphs
+        )
